@@ -1,0 +1,34 @@
+"""Section VI ablations: adversarial training, multi-class heads,
+fault-free generalisation."""
+
+from conftest import show
+from repro.experiments import (
+    run_adversarial_ablation,
+    run_fault_free_generalisation,
+    run_multiclass_ablation,
+)
+
+
+def test_adversarial_training(benchmark, glucosym_config):
+    result = benchmark.pedantic(run_adversarial_ablation,
+                                args=(glucosym_config,), rounds=1, iterations=1)
+    show(result)
+    rows = {row[0]: row for row in result.rows}
+    # paper: adversarial (faulty-data) training improves F1 and EDR
+    assert rows["adversarial"][4] >= rows["fault-free"][4]
+
+
+def test_multiclass_ablation(benchmark, glucosym_config):
+    result = benchmark.pedantic(run_multiclass_ablation,
+                                args=(glucosym_config,), rounds=1, iterations=1)
+    show(result)
+    assert len(result.rows) == 6
+
+
+def test_fault_free_generalisation(benchmark, glucosym_config):
+    result = benchmark.pedantic(run_fault_free_generalisation,
+                                args=(glucosym_config,), rounds=1, iterations=1)
+    show(result)
+    rows = result.row_dict()
+    # paper: the weakly-supervised CAWT stays quiet on fault-free data
+    assert rows["CAWT"][1] <= 0.02

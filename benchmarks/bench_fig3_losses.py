@@ -1,0 +1,31 @@
+"""Fig. 3 — loss-function shapes (and evaluation throughput)."""
+
+import numpy as np
+
+from conftest import show
+from repro.core import LOSSES
+from repro.experiments import run_fig3
+
+
+def test_fig3_loss_curves(benchmark):
+    result = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    show(result)
+    rows = result.row_dict()
+    # the paper's Fig. 3 shape claims
+    assert abs(rows["mse"][1]) < 0.1, "MSE minimum must sit at r=0"
+    assert abs(rows["mae"][1]) < 0.1, "MAE minimum must sit at r=0"
+    assert 0.2 < rows["tmee"][1] < 0.8, "TMEE minimum at small positive slack"
+    assert rows["telex"][1] > rows["tmee"][1] + 1.0, "TeLEx looser than TMEE"
+    # violation penalty ordering at r = -2
+    assert rows["tmee"][2] > rows["mae"][2], "TMEE punishes violations harder"
+
+
+def test_loss_evaluation_throughput(benchmark):
+    """Vectorized loss evaluation speed over a large robustness batch."""
+    r = np.linspace(-3, 6, 100_000)
+
+    def evaluate_all():
+        return [LOSSES[name](r)[0].sum() for name in sorted(LOSSES)]
+
+    values = benchmark(evaluate_all)
+    assert all(np.isfinite(v) for v in values)

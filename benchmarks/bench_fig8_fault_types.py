@@ -1,0 +1,16 @@
+"""Fig. 8 — hazard coverage by fault type and initial glucose."""
+
+from conftest import show
+from repro.experiments import run_fig8
+
+
+def test_fig8_fault_types(benchmark, glucosym_config):
+    result = benchmark.pedantic(run_fig8, args=(glucosym_config,),
+                                rounds=1, iterations=1)
+    show(result)
+    rows = result.row_dict()
+    # paper: maximize faults are the most damaging fault class
+    max_best = max(v[-1] for k, v in rows.items() if k.startswith("max_"))
+    others = [v[-1] for k, v in rows.items() if not k.startswith("max_")]
+    assert max_best >= max(others)
+    assert max_best > 0.5

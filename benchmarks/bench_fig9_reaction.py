@@ -1,0 +1,17 @@
+"""Fig. 9 — average reaction time per monitor."""
+
+from conftest import SCALE, show
+from repro.experiments import run_fig9
+
+
+def test_fig9_reaction_time(benchmark, glucosym_config):
+    result = benchmark.pedantic(run_fig9, args=(glucosym_config,),
+                                rounds=1, iterations=1)
+    show(result)
+    rows = result.row_dict()
+    # reaction times are hours-scale (the human body is a slow plant)
+    detected = [r for r in result.rows if r[5] > 0]
+    assert any(r[1] > 30.0 for r in detected)
+    if SCALE != "smoke":
+        # paper: CAWT has a stable (low-variance) reaction time
+        assert rows["CAWT"][2] <= rows["Guideline"][2]

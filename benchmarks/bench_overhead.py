@@ -1,0 +1,14 @@
+"""Section V-E6 — per-decision monitor overhead."""
+
+from conftest import show
+from repro.experiments import run_overhead
+
+
+def test_monitor_overhead(benchmark, glucosym_config):
+    result = benchmark.pedantic(run_overhead, args=(glucosym_config,),
+                                rounds=1, iterations=1)
+    show(result)
+    rows = result.row_dict()
+    # paper shape: the rule-based CAWT is far cheaper than MPC and LSTM
+    assert rows["CAWT"][1] < rows["MPC"][1]
+    assert rows["CAWT"][1] < rows["LSTM"][1]

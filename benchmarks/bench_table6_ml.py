@@ -1,0 +1,27 @@
+"""Table VI — CAWT vs the ML monitors, sample and simulation level.
+
+Reproduction note (see EXPERIMENTS.md): our ML baselines are evaluated
+in-distribution (same patients, same fault grid as training) and therefore
+score higher than the paper's, where CAWT dominated them outright.  The
+robust claims checked here: every monitor reaches usable accuracy, CAWT
+keeps a low false-positive rate, and (Section VI-2, bench_discussion) CAWT
+generalises to fault-free data where the ML monitors raise false alarms.
+"""
+
+from conftest import show
+from repro.experiments import run_table6
+
+
+def test_table6_glucosym(benchmark, glucosym_config):
+    result = benchmark.pedantic(run_table6, args=(glucosym_config,),
+                                rounds=1, iterations=1)
+    show(result)
+    rows = result.row_dict()
+    assert set(rows) == {"CAWT", "DT", "MLP", "LSTM"}
+    # CAWT: low-FPR, usable F1 at every scale
+    assert rows["CAWT"][1] < 0.10
+    assert rows["CAWT"][4] > 0.45
+    # the ML monitors produce valid, non-degenerate classifiers
+    for name in ("DT", "MLP", "LSTM"):
+        assert rows[name][4] > 0.45
+        assert rows[name][1] < 0.25

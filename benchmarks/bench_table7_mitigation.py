@@ -1,0 +1,18 @@
+"""Table VII — hazard mitigation with Algorithm 1."""
+
+from conftest import SCALE, show
+from repro.experiments import run_table7
+
+
+def test_table7_mitigation(benchmark, glucosym_config):
+    result = benchmark.pedantic(run_table7, args=(glucosym_config,),
+                                rounds=1, iterations=1)
+    show(result)
+    rows = result.row_dict()
+    for name in ("CAWT", "DT", "MLP", "MPC"):
+        assert name in rows
+    if SCALE != "smoke":
+        # paper shape: CAWT introduces the fewest new hazards and carries
+        # the lowest average risk
+        assert rows["CAWT"][2] <= min(rows[m][2] for m in ("DT", "MLP", "MPC"))
+        assert rows["CAWT"][3] <= min(rows[m][3] for m in ("DT", "MLP", "MPC")) + 0.05

@@ -1,0 +1,18 @@
+"""Table VIII — patient-specific vs population-based thresholds."""
+
+from conftest import SCALE, show
+from repro.experiments import run_table8
+
+
+def test_table8_patient_specific(benchmark, glucosym_config):
+    result = benchmark.pedantic(run_table8, args=(glucosym_config,),
+                                rounds=1, iterations=1)
+    show(result)
+    kinds = {row[1] for row in result.rows}
+    assert "patient-specific" in kinds
+    if SCALE != "smoke" and "population" in kinds:
+        # paper shape: averaged over patients, patient-specific thresholds
+        # reach at least the F1 of population thresholds
+        spec = [r[5] for r in result.rows if r[1] == "patient-specific"]
+        pop = [r[5] for r in result.rows if r[1] == "population"]
+        assert sum(spec) / len(spec) >= sum(pop) / len(pop) - 0.05

@@ -1,0 +1,28 @@
+"""Monitor shoot-out: regenerate Table V and Fig. 9 at small scale.
+
+Compares the CAWT monitor against CAWOT, the medical-guidelines monitor
+(Table III) and the MPC monitor (Eq. 6) on one platform, reporting the
+sample-level accuracy with tolerance window and the reaction-time stats.
+
+Run:  python examples/monitor_comparison.py [glucosym|t1ds2013] [scale]
+"""
+
+import sys
+
+from repro.experiments import ExperimentConfig, run_fig9, run_table5
+
+
+def main():
+    platform = sys.argv[1] if len(sys.argv) > 1 else "glucosym"
+    scale = sys.argv[2] if len(sys.argv) > 2 else "smoke"
+    config = ExperimentConfig.preset(scale, platform=platform)
+    print(f"platform={platform} scale={scale}: "
+          f"{len(config.patients)} patients x "
+          f"{config.scenarios_per_patient} scenarios\n")
+    print(run_table5(config).text())
+    print()
+    print(run_fig9(config).text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quickstart: a fault attack on the closed loop, caught by the monitor.
+
+Runs the OpenAPS + Glucosym platform three times from the same start:
+
+1. fault-free (the controller holds glucose at target);
+2. with a ``maximize_rate`` attack on the commanded insulin (severe
+   hypoglycemia develops — an H1 hazard);
+3. the same attack with the context-aware monitor and Algorithm 1
+   mitigation in the loop.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import FixedMitigator, cawot_monitor
+from repro.fi import FaultInjector, FaultKind, FaultSpec, FaultTarget
+from repro.simulation import Scenario, make_loop
+
+
+def sparkline(values, lo=40.0, hi=300.0, width=75):
+    """Tiny ASCII glucose strip chart."""
+    blocks = " .:-=+*#%@"
+    step = max(len(values) // width, 1)
+    out = []
+    for i in range(0, len(values), step):
+        v = values[i]
+        idx = int((min(max(v, lo), hi) - lo) / (hi - lo) * (len(blocks) - 1))
+        out.append(blocks[idx])
+    return "".join(out)
+
+
+def describe(tag, trace):
+    label = trace.hazard_label
+    hazard = (f"hazard {label.first_type.name} at t={label.hazard_time():.0f} min"
+              if label.any_hazard else "no hazard")
+    print(f"{tag:22s} BG [{trace.true_bg.min():5.0f}, {trace.true_bg.max():5.0f}] "
+          f"mg/dL  alerts={int(trace.alert.sum()):3d}  {hazard}")
+    print(f"{'':22s} {sparkline(trace.true_bg)}")
+
+
+def main():
+    scenario = Scenario(init_glucose=120.0)
+    attack = FaultSpec(kind=FaultKind.MAX, target=FaultTarget.RATE,
+                       start_step=20, duration_steps=30)
+
+    loop = make_loop("glucosym", "B")
+    describe("fault-free", loop.run(scenario))
+
+    loop.injector = FaultInjector(attack)
+    describe("max_rate attack", loop.run(scenario))
+
+    guarded = make_loop("glucosym", "B", monitor=cawot_monitor(),
+                        mitigator=FixedMitigator())
+    guarded.injector = FaultInjector(attack)
+    describe("attack + monitor", guarded.run(scenario))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Working with the STL engine and the safety-context specification.
+
+Shows the formal side of the framework without any simulation:
+
+1. parse an STL formula with a learnable parameter;
+2. build the Table I rule set and print the generated Eq. 1 formulas;
+3. check a hand-written trace against a rule, both boolean and
+   quantitatively (robustness);
+4. express a mitigation requirement with the Eq. 2 since/eventually shape.
+
+Run:  python examples/stl_specification.py
+"""
+
+import numpy as np
+
+from repro.controllers import ControlAction
+from repro.core import aps_scs
+from repro.stl import Trace, parse, robustness, satisfaction, satisfied
+
+
+def main():
+    # 1. parse a rule-1-like formula with a learnable threshold
+    formula = parse("G((BG > 120 & BG' > 0 & IOB' < 0 & IOB < beta1) -> !u1)")
+    print("parsed:", formula)
+    print("learnable parameters:", sorted(formula.parameters()), "\n")
+
+    # 2. the full Table I specification
+    scs = aps_scs()
+    print("the 12 generated UCAS formulas (Eq. 1):")
+    for name, stl in scs.monitor_formulas().items():
+        print(f"  {name:7s} {stl}")
+    print()
+
+    # 3. evaluate on a miniature trace: hyperglycemia while the (faulty)
+    # controller keeps *decreasing* insulin
+    n = 12
+    trace = Trace({
+        "BG": np.linspace(150, 210, n),
+        "IOB": np.linspace(1.0, 0.2, n),
+        "u1": np.ones(n),
+        "u2": np.zeros(n), "u3": np.zeros(n), "u4": np.zeros(n),
+    }, dt=5.0).with_derivative("BG").with_derivative("IOB")
+
+    env = {"beta1": 1.5}
+    print("rule-1 satisfied on the overdose-starved trace?",
+          satisfied(formula, trace, env))
+    body = formula.child  # the implication, evaluated pointwise
+    sat = satisfaction(body, trace, env)
+    rob = robustness(body, trace, env)
+    print("pointwise verdicts:", "".join("T" if s else "F" for s in sat))
+    print("pointwise robustness:", np.round(rob, 2), "\n")
+
+    # 4. a mitigation specification: stop insulin within 15 minutes of
+    # entering the hypoglycemic context (Eq. 2 shape)
+    hms = parse("(F[0,15](u3)) S (BG < 70)")
+    recovering = Trace({
+        "BG": [80.0, 65.0, 60.0, 58.0, 62.0],
+        "u3": [0.0, 0.0, 1.0, 1.0, 0.0],
+    }, dt=5.0)
+    print("HMS formula:", hms)
+    print("mitigation-in-time verdicts:",
+          satisfaction(hms, recovering).tolist())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Baseline monitors: medical guidelines (Table III) and MPC (Eq. 6)."""
+
+from .guideline import GuidelineMonitor
+from .mpc import MPCMonitor
+
+__all__ = ["GuidelineMonitor", "MPCMonitor"]

@@ -1,0 +1,123 @@
+"""Medical-guidelines baseline monitor (Table III of the paper).
+
+A DAMON-style data-authenticity monitor built from generic clinical rules,
+with no knowledge of the controller or patient:
+
+- phi1: BG must stay in the normal range [70, 180] mg/dL;
+- phi2: BG must not change too fast (per-cycle delta in (-5, 3) mg/dL);
+- phi3: once BG drops below its 10th percentile ``lambda_10``, the controller
+  must bring it back within ``alpha`` minutes;
+- phi4: symmetric for the 90th percentile ``lambda_90``.
+
+Violations on the low side predict H1, on the high side H2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..core.context import ContextVector
+from ..core.monitor import MonitorVerdict, NO_ALERT, SafetyMonitor
+from ..hazards import HazardType
+
+__all__ = ["GuidelineMonitor"]
+
+
+class GuidelineMonitor(SafetyMonitor):
+    """Table III rule monitor.
+
+    Parameters
+    ----------
+    bg_low, bg_high:
+        The phi1 normal range (mg/dL).
+    delta_low, delta_high:
+        The phi2 per-cycle change bounds (mg/dL per 5-minute cycle).
+    lambda_10, lambda_90:
+        Percentile thresholds for phi3/phi4; refine with :meth:`fit` from
+        fault-free traces.
+    alpha:
+        Recovery deadline for phi3/phi4 in minutes (paper suggests 25).
+    """
+
+    name = "Guideline"
+
+    def __init__(self, bg_low: float = 70.0, bg_high: float = 180.0,
+                 delta_low: float = -5.0, delta_high: float = 3.0,
+                 lambda_10: float = 90.0, lambda_90: float = 160.0,
+                 alpha: float = 25.0):
+        if bg_low >= bg_high:
+            raise ValueError("bg_low must be below bg_high")
+        if delta_low >= delta_high:
+            raise ValueError("delta_low must be below delta_high")
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        self.bg_low = float(bg_low)
+        self.bg_high = float(bg_high)
+        self.delta_low = float(delta_low)
+        self.delta_high = float(delta_high)
+        self.lambda_10 = float(lambda_10)
+        self.lambda_90 = float(lambda_90)
+        self.alpha = float(alpha)
+        self._below_since: Optional[float] = None
+        self._above_since: Optional[float] = None
+
+    def fit(self, traces: Iterable) -> "GuidelineMonitor":
+        """Set lambda_10/lambda_90 from the BG distribution of *traces*."""
+        values = np.concatenate([trace.cgm for trace in traces])
+        if values.size == 0:
+            raise ValueError("cannot fit percentiles on empty traces")
+        self.lambda_10 = float(np.percentile(values, 10))
+        self.lambda_90 = float(np.percentile(values, 90))
+        return self
+
+    def reset(self) -> None:
+        self._below_since = None
+        self._above_since = None
+
+    def observe(self, ctx: ContextVector) -> MonitorVerdict:
+        triggered = []
+        hazard: Optional[HazardType] = None
+
+        # phi1: normal range
+        if ctx.bg < self.bg_low:
+            triggered.append("phi1-low")
+            hazard = HazardType.H1
+        elif ctx.bg > self.bg_high:
+            triggered.append("phi1-high")
+            hazard = HazardType.H2
+
+        # phi2: rate of change per cycle (bg_rate is per minute)
+        delta = ctx.bg_rate * 5.0
+        if delta < self.delta_low:
+            triggered.append("phi2-fall")
+            hazard = hazard or HazardType.H1
+        elif delta > self.delta_high:
+            triggered.append("phi2-rise")
+            hazard = hazard or HazardType.H2
+
+        # phi3: recovery deadline below the 10th percentile
+        if ctx.bg < self.lambda_10:
+            if self._below_since is None:
+                self._below_since = ctx.t
+            elif ctx.t - self._below_since > self.alpha:
+                triggered.append("phi3")
+                hazard = hazard or HazardType.H1
+        else:
+            self._below_since = None
+
+        # phi4: recovery deadline above the 90th percentile
+        if ctx.bg > self.lambda_90:
+            if self._above_since is None:
+                self._above_since = ctx.t
+            elif ctx.t - self._above_since > self.alpha:
+                triggered.append("phi4")
+                hazard = hazard or HazardType.H2
+        else:
+            self._above_since = None
+
+        if triggered:
+            return MonitorVerdict(alert=True, hazard=hazard,
+                                  triggered=tuple(triggered))
+        return NO_ALERT

@@ -1,0 +1,115 @@
+"""Model-predictive-control baseline monitor (Section IV-C2 of the paper).
+
+Uses the Bergman & Sherwin population model (the paper's Eq. 6)::
+
+    dBG/dt = -(GEZI + IEFF) * BG + EGP + RA(t)
+
+to predict the blood glucose that would result from executing the pump's
+commanded insulin on the current state, and raises an alarm when the
+prediction leaves the guideline range [70, 180] mg/dL.
+
+The monitor carries its own three-compartment insulin-effect estimate driven
+by the *commanded* insulin (the same IVP insulin chain), parameterised with
+population-average constants — deliberately not patient-specific, which is
+exactly the weakness the paper attributes to this baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.context import ContextVector
+from ..core.monitor import MonitorVerdict, NO_ALERT, SafetyMonitor
+from ..hazards import HazardType
+from ..patients.base import UU_PER_UNIT
+
+__all__ = ["MPCMonitor"]
+
+
+class MPCMonitor(SafetyMonitor):
+    """One-or-more-step-ahead BG prediction monitor.
+
+    Parameters
+    ----------
+    gezi, egp, si, ci, tau1, tau2, p2:
+        Bergman/IVP population constants (defaults: Kanderian means).
+    horizon_steps:
+        How many 5-minute steps to roll the model forward under the
+        commanded insulin before checking the range.
+    bg_low, bg_high:
+        Alarm range (the guideline normal range).
+    """
+
+    name = "MPC"
+
+    def __init__(self, gezi: float = 2.2e-3, egp: float = 1.33,
+                 si: float = 7.1e-4, ci: float = 2010.0, tau1: float = 49.0,
+                 tau2: float = 47.0, p2: float = 0.0106,
+                 horizon_steps: int = 6, bg_low: float = 70.0,
+                 bg_high: float = 180.0, dt: float = 5.0):
+        if horizon_steps < 1:
+            raise ValueError(f"horizon_steps must be >= 1, got {horizon_steps}")
+        if bg_low >= bg_high:
+            raise ValueError("bg_low must be below bg_high")
+        self.gezi = gezi
+        self.egp = egp
+        self.si = si
+        self.ci = ci
+        self.tau1 = tau1
+        self.tau2 = tau2
+        self.p2 = p2
+        self.horizon_steps = horizon_steps
+        self.bg_low = float(bg_low)
+        self.bg_high = float(bg_high)
+        self.dt = float(dt)
+        # internal insulin-effect state (population model, commanded insulin)
+        self._isc = 0.0
+        self._ip = 0.0
+        self._ieff: Optional[float] = None
+
+    def reset(self) -> None:
+        self._isc = 0.0
+        self._ip = 0.0
+        self._ieff = None
+
+    def _integrate(self, isc, ip, ieff, bg, insulin_uu_min, minutes):
+        """Euler-integrate the population model for *minutes* at 1-min steps."""
+        steps = max(int(round(minutes)), 1)
+        for _ in range(steps):
+            d_isc = insulin_uu_min / (self.tau1 * self.ci) - isc / self.tau1
+            d_ip = (isc - ip) / self.tau2
+            d_ieff = -self.p2 * ieff + self.p2 * self.si * ip
+            d_bg = -(self.gezi + max(ieff, 0.0)) * bg + self.egp
+            isc += d_isc
+            ip += d_ip
+            ieff += d_ieff
+            bg = max(bg + d_bg, 1.0)
+        return isc, ip, ieff, bg
+
+    def observe(self, ctx: ContextVector) -> MonitorVerdict:
+        if self._ieff is None:
+            # initialise the insulin chain at the steady state that holds the
+            # first observed BG (the monitor's best population-level guess)
+            ieff0 = max(self.egp / max(ctx.bg, 1.0) - self.gezi, 0.0)
+            ip0 = ieff0 / self.si
+            self._isc, self._ip, self._ieff = ip0, ip0, ieff0
+
+        insulin_uu_min = (ctx.rate / 60.0 + ctx.bolus / self.dt) * UU_PER_UNIT
+        # roll the model forward under the commanded insulin
+        isc, ip, ieff, bg = self._isc, self._ip, self._ieff, ctx.bg
+        isc, ip, ieff, bg = self._integrate(isc, ip, ieff, bg,
+                                            insulin_uu_min,
+                                            self.horizon_steps * self.dt)
+        predicted = bg
+
+        # advance the internal state by one cycle (what actually got commanded)
+        self._isc, self._ip, self._ieff, _ = self._integrate(
+            self._isc, self._ip, self._ieff, ctx.bg, insulin_uu_min, self.dt)
+
+        if predicted < self.bg_low:
+            return MonitorVerdict(alert=True, hazard=HazardType.H1,
+                                  triggered=("mpc-low",))
+        if predicted > self.bg_high:
+            return MonitorVerdict(alert=True, hazard=HazardType.H2,
+                                  triggered=("mpc-high",))
+        return NO_ALERT

@@ -1,0 +1,149 @@
+"""Python port of the OpenAPS (oref0) ``determine-basal`` core logic.
+
+The paper's primary platform runs the OpenAPS reference-design control loop:
+every 5 minutes the controller projects an *eventual* blood glucose from the
+current reading, the insulin on board, the insulin activity and the recent
+deviation between observed and insulin-explained BG change, then sets a
+temporary basal rate to steer the eventual BG to target.
+
+This port keeps the decision structure of ``oref0/lib/determine-basal``:
+
+- ``bgi``: expected BG change this cycle from insulin activity alone,
+  ``-activity * isf * 5`` (mg/dL per 5 min);
+- ``deviation``: 30-minute extrapolation of the difference between the
+  observed delta and ``bgi``;
+- ``eventualBG = bg - iob * isf + deviation``;
+- low-glucose suspend below a hard threshold;
+- low-temp when eventual BG is below target (down to zero),
+  high-temp when above, with ``max_basal``/``max_iob`` safety caps.
+
+Profile-management, autosens and CGM-cleaning plumbing of the JavaScript
+implementation are out of scope (DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import Controller, ControllerDecision
+from .iob import InsulinActivityCurve, IOBCalculator
+
+__all__ = ["OpenAPSController"]
+
+
+class OpenAPSController(Controller):
+    """oref0-style temp-basal controller.
+
+    Parameters
+    ----------
+    basal:
+        Scheduled (profile) basal rate in U/h.
+    isf:
+        Insulin sensitivity factor, mg/dL per U.
+    target:
+        BG target in mg/dL (the paper's ``BGT``).
+    max_basal:
+        Safety cap on the temp-basal rate (U/h); oref0 defaults to a small
+        multiple of the scheduled basal.
+    max_iob:
+        Cap on *net* IOB (insulin on board beyond the scheduled basal, the
+        oref0 convention) in units; no high-temp above it.
+    suspend_threshold:
+        Low-glucose suspend threshold in mg/dL.
+    dia, peak:
+        Insulin activity curve parameters (minutes).
+    """
+
+    def __init__(self, basal: float, isf: float = 50.0, target: float = 120.0,
+                 max_basal: Optional[float] = None, max_iob: float = 10.0,
+                 suspend_threshold: float = 70.0, dia: float = 300.0,
+                 peak: float = 75.0):
+        super().__init__("openaps", basal)
+        if isf <= 0:
+            raise ValueError(f"ISF must be positive, got {isf}")
+        if target <= 0:
+            raise ValueError(f"target must be positive, got {target}")
+        self.isf = float(isf)
+        self.target = float(target)
+        self.max_basal = float(max_basal) if max_basal is not None else 4.0 * basal
+        self.max_iob = float(max_iob)
+        self.suspend_threshold = float(suspend_threshold)
+        self._iob_calc = IOBCalculator(InsulinActivityCurve(dia=dia, peak=peak),
+                                       basal_offset=basal)
+        self._last_glucose: Optional[float] = None
+        self._last_iob = 0.0
+        self._cycle = 5.0  # minutes, set from notify_delivery
+
+    # ------------------------------------------------------------------
+    # control law
+    # ------------------------------------------------------------------
+    def decide(self, glucose: float, t: float) -> ControllerDecision:
+        if glucose <= 0:
+            raise ValueError(f"glucose reading must be positive, got {glucose}")
+        iob = self._internal_iob(self._iob_calc.iob(t))
+        activity = self._iob_calc.activity(t)
+        iob_rate = (iob - self._last_iob) / self._cycle if t > 0 else 0.0
+
+        delta = 0.0 if self._last_glucose is None else glucose - self._last_glucose
+        bgi = -activity * self.isf * self._cycle
+        deviation = (30.0 / self._cycle) * (delta - bgi)
+        eventual_bg = glucose - iob * self.isf + deviation
+        naive_eventual = glucose - iob * self.isf
+
+        rate = self._temp_basal(glucose, eventual_bg, naive_eventual, iob)
+
+        decision = ControllerDecision(
+            basal=rate,
+            bolus=0.0,
+            action=self.classify(rate),
+            glucose=glucose,
+            iob=iob,
+            iob_rate=iob_rate,
+            info={
+                "eventual_bg": eventual_bg,
+                "naive_eventual_bg": naive_eventual,
+                "deviation": deviation,
+                "bgi": bgi,
+                "activity": activity,
+                "delta": delta,
+            },
+        )
+        self._last_glucose = glucose
+        self._last_iob = iob
+        return decision
+
+    def _temp_basal(self, glucose: float, eventual_bg: float,
+                    naive_eventual: float, iob: float) -> float:
+        """Core determine-basal rate selection."""
+        # low-glucose suspend: hard zero temp
+        if glucose < self.suspend_threshold:
+            return 0.0
+        if eventual_bg < self.target:
+            # low temp: remove the projected surplus over the next hour —
+            # cutting insulin is safe, so the low side reacts at full gain
+            insulin_req = (eventual_bg - self.target) / self.isf  # negative units
+            rate = self.scheduled_basal + insulin_req
+            # if both projections are very low, stop outright
+            if naive_eventual < self.suspend_threshold:
+                return 0.0
+            return max(rate, 0.0)
+        # eventual BG at/above target: spread the correction over two hours
+        # (half gain) to stay stable against the body's insulin-action lag
+        insulin_req = (eventual_bg - self.target) / self.isf  # positive units
+        if iob + insulin_req > self.max_iob:
+            insulin_req = max(self.max_iob - iob, 0.0)
+        rate = self.scheduled_basal + insulin_req * (60.0 / 120.0)
+        return min(max(rate, 0.0), self.max_basal)
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def notify_delivery(self, basal_u_h: float, bolus_u: float, t: float,
+                        duration: float) -> None:
+        self._cycle = duration
+        self._iob_calc.record(basal_u_h, bolus_u, t, duration)
+
+    def reset(self) -> None:
+        self._iob_calc.reset()
+        self._last_glucose = None
+        self._last_iob = 0.0

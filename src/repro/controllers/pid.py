@@ -1,0 +1,101 @@
+"""PID controller — an extension platform beyond the paper's two controllers.
+
+Classic proportional-integral-derivative control of glucose around a target,
+mapped onto the same basal-rate command interface.  Not used in the paper's
+tables; included to exercise the claim (Section IV-B) that the generated
+UCAS/monitor logic transfers across controllers sharing the same functional
+specification.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import Controller, ControllerDecision
+from .iob import InsulinActivityCurve, IOBCalculator
+
+__all__ = ["PIDController"]
+
+
+class PIDController(Controller):
+    """PID basal-rate controller.
+
+    Parameters
+    ----------
+    basal:
+        Scheduled basal (U/h) — the PID output is a correction around it.
+    kp, ki, kd:
+        PID gains in U/h per mg/dL (and per minute for ki/kd).
+    target:
+        Glucose set point (mg/dL).
+    max_basal:
+        Output cap (U/h).
+    suspend_threshold:
+        Low-glucose suspend (mg/dL).
+    """
+
+    def __init__(self, basal: float, kp: float = 0.02, ki: float = 5e-5,
+                 kd: float = 0.2, target: float = 120.0,
+                 max_basal: Optional[float] = None,
+                 suspend_threshold: float = 70.0,
+                 integral_limit: float = 2000.0):
+        super().__init__("pid", basal)
+        if target <= 0:
+            raise ValueError(f"target must be positive, got {target}")
+        self.kp = float(kp)
+        self.ki = float(ki)
+        self.kd = float(kd)
+        self.target = float(target)
+        self.max_basal = float(max_basal) if max_basal is not None else 4.0 * basal
+        self.suspend_threshold = float(suspend_threshold)
+        self.integral_limit = float(integral_limit)
+        self._iob_calc = IOBCalculator(InsulinActivityCurve())
+        self._integral = 0.0
+        self._last_glucose: Optional[float] = None
+        self._last_iob = 0.0
+        self._cycle = 5.0
+
+    def decide(self, glucose: float, t: float) -> ControllerDecision:
+        if glucose <= 0:
+            raise ValueError(f"glucose reading must be positive, got {glucose}")
+        iob = self._internal_iob(self._iob_calc.iob(t))
+        iob_rate = (iob - self._last_iob) / self._cycle if t > 0 else 0.0
+
+        error = glucose - self.target
+        derivative = 0.0
+        if self._last_glucose is not None:
+            derivative = (glucose - self._last_glucose) / self._cycle
+        self._integral += error * self._cycle
+        self._integral = min(max(self._integral, -self.integral_limit),
+                             self.integral_limit)
+
+        rate = (self.scheduled_basal + self.kp * error
+                + self.ki * self._integral + self.kd * derivative)
+        if glucose < self.suspend_threshold:
+            rate = 0.0
+        rate = min(max(rate, 0.0), self.max_basal)
+
+        decision = ControllerDecision(
+            basal=rate,
+            bolus=0.0,
+            action=self.classify(rate),
+            glucose=glucose,
+            iob=iob,
+            iob_rate=iob_rate,
+            info={"error": error, "integral": self._integral,
+                  "derivative": derivative},
+        )
+        self._last_glucose = glucose
+        self._last_iob = iob
+        return decision
+
+    def notify_delivery(self, basal_u_h: float, bolus_u: float, t: float,
+                        duration: float) -> None:
+        self._cycle = duration
+        self._iob_calc.record(basal_u_h, bolus_u, t, duration)
+
+    def reset(self) -> None:
+        self._iob_calc.reset()
+        self._integral = 0.0
+        self._last_glucose = None
+        self._last_iob = 0.0

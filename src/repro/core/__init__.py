@@ -1,0 +1,69 @@
+"""The paper's primary contribution: safety-context specification, STL
+threshold learning, the context-aware monitor (CAWT/CAWOT) and hazard
+mitigation."""
+
+from .context import CONTEXT_CHANNELS, ContextVector, Region
+from .learning import (
+    LOSSES,
+    LearningResult,
+    RuleSamples,
+    ThresholdFit,
+    learn_thresholds,
+    mae_loss,
+    mine_rule_samples,
+    mse_loss,
+    telex_loss,
+    tmee_loss,
+)
+from .mitigation import FixedMitigator, Mitigator, ProportionalMitigator
+from .monitor import (
+    NO_ALERT,
+    ContextAwareMonitor,
+    MonitorVerdict,
+    SafetyMonitor,
+    cawot_monitor,
+    cawt_monitor,
+)
+from .rules import (
+    APSRule,
+    BG_TARGET,
+    IOB_RATE_EPS,
+    aps_rules,
+    aps_scs,
+    default_thresholds,
+)
+from .scs import HMSEntry, SafetyContextSpec, UCASEntry
+
+__all__ = [
+    "CONTEXT_CHANNELS",
+    "ContextVector",
+    "Region",
+    "LOSSES",
+    "LearningResult",
+    "RuleSamples",
+    "ThresholdFit",
+    "learn_thresholds",
+    "mae_loss",
+    "mine_rule_samples",
+    "mse_loss",
+    "telex_loss",
+    "tmee_loss",
+    "FixedMitigator",
+    "Mitigator",
+    "ProportionalMitigator",
+    "NO_ALERT",
+    "ContextAwareMonitor",
+    "MonitorVerdict",
+    "SafetyMonitor",
+    "cawot_monitor",
+    "cawt_monitor",
+    "APSRule",
+    "BG_TARGET",
+    "IOB_RATE_EPS",
+    "aps_rules",
+    "aps_scs",
+    "default_thresholds",
+    "HMSEntry",
+    "SafetyContextSpec",
+    "UCASEntry",
+]

@@ -1,0 +1,87 @@
+"""Hazard mitigation — Algorithm 1 of the paper.
+
+When the monitor flags an unsafe control action, the mitigator replaces the
+commanded insulin before it reaches the pump:
+
+- predicted **H1** (too much insulin): command zero insulin;
+- predicted **H2** (too little insulin): command a corrective insulin dose.
+
+For H2 the paper notes that a context-dependent function ``f(rho(mu(x)), u)``
+should choose the dose, but its experiments use a *fixed maximum insulin
+value* so context-aware and non-context-aware monitors can be compared
+fairly; :class:`FixedMitigator` implements that, and
+:class:`ProportionalMitigator` implements a context-dependent ``f`` as the
+documented extension.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..hazards import HazardType
+from .context import ContextVector
+from .monitor import MonitorVerdict
+
+__all__ = ["Mitigator", "FixedMitigator", "ProportionalMitigator"]
+
+
+class Mitigator(abc.ABC):
+    """Maps (verdict, context, command) to a corrected command."""
+
+    @abc.abstractmethod
+    def correct(self, verdict: MonitorVerdict, ctx: ContextVector) -> Tuple[float, float]:
+        """Return the corrected ``(basal_u_h, bolus_u)`` command."""
+
+
+@dataclass
+class FixedMitigator(Mitigator):
+    """Algorithm 1 with the paper's fixed H2 correction.
+
+    Attributes
+    ----------
+    max_rate:
+        The fixed maximum insulin rate (U/h) commanded on predicted H2.
+    """
+
+    max_rate: float = 5.0
+
+    def __post_init__(self):
+        if self.max_rate <= 0:
+            raise ValueError(f"max_rate must be positive, got {self.max_rate}")
+
+    def correct(self, verdict: MonitorVerdict, ctx: ContextVector) -> Tuple[float, float]:
+        if not verdict.alert:
+            return ctx.rate, ctx.bolus
+        if verdict.hazard == HazardType.H1:
+            return 0.0, 0.0
+        return self.max_rate, 0.0
+
+
+@dataclass
+class ProportionalMitigator(Mitigator):
+    """Context-dependent ``f(rho(mu(x)), u)`` for H2 (extension).
+
+    Doses insulin proportionally to the glucose excess over target,
+    discounted by insulin already on board — gentler than the fixed maximum
+    and less likely to cause rebound hypoglycemia.
+    """
+
+    isf: float = 50.0        # mg/dL per U
+    bg_target: float = 120.0
+    max_rate: float = 5.0
+    horizon_h: float = 2.0   # spread the correction over this many hours
+
+    def __post_init__(self):
+        if self.isf <= 0 or self.max_rate <= 0 or self.horizon_h <= 0:
+            raise ValueError("isf, max_rate and horizon_h must be positive")
+
+    def correct(self, verdict: MonitorVerdict, ctx: ContextVector) -> Tuple[float, float]:
+        if not verdict.alert:
+            return ctx.rate, ctx.bolus
+        if verdict.hazard == HazardType.H1:
+            return 0.0, 0.0
+        needed_units = max((ctx.bg - self.bg_target) / self.isf - ctx.iob, 0.0)
+        rate = min(needed_units / self.horizon_h, self.max_rate)
+        return rate, 0.0

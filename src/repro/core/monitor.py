@@ -1,0 +1,133 @@
+"""Safety-monitor interface and the context-aware (CAWT/CAWOT) monitor.
+
+Monitors are wrappers around the controller's input-output interface
+(Fig. 1a): each control cycle they receive the inferred system context
+(:class:`~repro.core.context.ContextVector`, built by the closed loop from
+the fault-free sensor stream and the commanded insulin) and return a
+:class:`MonitorVerdict` — whether the command is an unsafe control action and
+which hazard it predicts.
+
+The context-aware monitor evaluates the 12 Table I rules each cycle.  With
+thresholds learned from data (:mod:`repro.core.learning`) it is the paper's
+**CAWT** monitor; with the clinical defaults it is the **CAWOT** baseline.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..hazards import HazardType
+from .context import ContextVector
+from .rules import APSRule, BG_TARGET, aps_rules, default_thresholds
+
+__all__ = ["MonitorVerdict", "SafetyMonitor", "ContextAwareMonitor",
+           "cawt_monitor", "cawot_monitor", "NO_ALERT"]
+
+
+@dataclass(frozen=True)
+class MonitorVerdict:
+    """Outcome of one monitor evaluation.
+
+    Attributes
+    ----------
+    alert:
+        True when the monitor flags the commanded action as unsafe.
+    hazard:
+        Predicted hazard type (None when no alert).
+    triggered:
+        Names of the triggered rules (empty for non-rule monitors).
+    """
+
+    alert: bool
+    hazard: Optional[HazardType] = None
+    triggered: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if self.alert and self.hazard is None:
+            raise ValueError("an alert must carry a predicted hazard type")
+
+
+#: the quiescent verdict
+NO_ALERT = MonitorVerdict(alert=False)
+
+
+class SafetyMonitor(abc.ABC):
+    """Base class of all safety monitors (context-aware, baselines, ML)."""
+
+    name: str = "monitor"
+
+    @abc.abstractmethod
+    def observe(self, ctx: ContextVector) -> MonitorVerdict:
+        """Evaluate one control cycle."""
+
+    def reset(self) -> None:
+        """Clear per-simulation state (default: stateless)."""
+
+
+class ContextAwareMonitor(SafetyMonitor):
+    """The paper's context-aware monitor over the Table I rules.
+
+    Parameters
+    ----------
+    thresholds:
+        Mapping of rule parameter name (``beta1``..``beta11``, ``beta21``)
+        to threshold value.  Missing entries fall back to the rule defaults.
+        Pass learned thresholds for **CAWT**; pass nothing for **CAWOT**.
+    bg_target:
+        The BGT constant of Table I.
+    rules:
+        Rule subset to monitor (defaults to all 12).
+    """
+
+    def __init__(self, thresholds: Optional[Dict[str, float]] = None,
+                 bg_target: float = BG_TARGET,
+                 rules: Optional[Sequence[APSRule]] = None,
+                 name: str = "context-aware"):
+        self.rules = tuple(rules) if rules is not None else aps_rules()
+        self.bg_target = float(bg_target)
+        merged = default_thresholds()
+        if thresholds:
+            unknown = set(thresholds) - set(merged)
+            if unknown:
+                raise KeyError(f"unknown rule parameters: {sorted(unknown)}")
+            merged.update(thresholds)
+        self.thresholds = merged
+        self.name = name
+
+    def observe(self, ctx: ContextVector) -> MonitorVerdict:
+        triggered = []
+        hazard: Optional[HazardType] = None
+        for rule in self.rules:
+            if rule.violated(ctx, self.thresholds[rule.param], self.bg_target):
+                triggered.append(f"rule{rule.index}")
+                # first triggered rule determines the predicted hazard; all
+                # rules constraining the same action agree on the hazard type
+                if hazard is None:
+                    hazard = rule.hazard
+        if triggered:
+            return MonitorVerdict(alert=True, hazard=hazard,
+                                  triggered=tuple(triggered))
+        return NO_ALERT
+
+    def with_thresholds(self, thresholds: Dict[str, float],
+                        name: Optional[str] = None) -> "ContextAwareMonitor":
+        """A copy of this monitor with (partially) replaced thresholds."""
+        merged = dict(self.thresholds)
+        merged.update(thresholds)
+        return ContextAwareMonitor(thresholds=merged, bg_target=self.bg_target,
+                                   rules=self.rules, name=name or self.name)
+
+
+def cawt_monitor(thresholds: Dict[str, float],
+                 bg_target: float = BG_TARGET) -> ContextAwareMonitor:
+    """Context-Aware monitor With learned Thresholds (the paper's CAWT)."""
+    return ContextAwareMonitor(thresholds=thresholds, bg_target=bg_target,
+                               name="CAWT")
+
+
+def cawot_monitor(bg_target: float = BG_TARGET) -> ContextAwareMonitor:
+    """Context-Aware monitor WithOut Threshold learning (CAWOT baseline)."""
+    return ContextAwareMonitor(thresholds=None, bg_target=bg_target,
+                               name="CAWOT")

@@ -1,0 +1,116 @@
+"""Safety Context Specification (SCS) framework — Section III-B of the paper.
+
+An SCS couples two specifications:
+
+- the **UCA Specification (UCAS)**: tuples ``(context, action, hazard)``
+  stating that issuing control action ``u`` in system context ``rho(mu(x))``
+  may drive the system into hazardous region ``Hi``;
+- the **Hazard Mitigation Specification (HMS)**: tuples ``(context,
+  safe-actions, ts)`` stating which actions return the system to the safe
+  region and how quickly one must be taken.
+
+Both compile to bounded-time STL (Eqs. 1 and 2):
+
+    UCAS:  G[t0,te]( phi_1 & ... & phi_m  ->  !u )
+    HMS:   G[t0,te]( (F[0,ts] u_c)  S  (phi_1 & ... & phi_m) )
+
+The concrete APS instantiation (Table I) lives in :mod:`repro.core.rules`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
+
+from ..controllers import ControlAction
+from ..hazards import HazardType
+from ..stl import And, Formula, Globally, Implies, Not, Or, Signal, Since, Eventually
+
+__all__ = ["UCASEntry", "HMSEntry", "SafetyContextSpec"]
+
+
+@dataclass(frozen=True)
+class UCASEntry:
+    """One unsafe-control-action tuple ``(rho(mu(x)), u, Hi)``.
+
+    ``context`` is an STL formula over the mu-channels (may contain learnable
+    :class:`~repro.stl.ast.Param` thresholds).  ``forbidden`` is the control
+    action that must not (or, with ``required=True``, *must*) be issued in
+    that context.
+    """
+
+    name: str
+    context: Formula
+    action: ControlAction
+    hazard: HazardType
+    required: bool = False  # True: action is mandated (Table I rule 10)
+
+    def consequent(self) -> Formula:
+        atom = Signal(self.action.channel)
+        return atom if self.required else Not(atom)
+
+    def to_stl(self, t0: float = 0.0, te: Optional[float] = None) -> Formula:
+        """Eq. 1: ``G[t0,te](context -> !u)`` (or ``-> u`` when required)."""
+        return Globally(Implies(self.context, self.consequent()), t0, te)
+
+    def violation_body(self) -> Formula:
+        """Pointwise violation condition: ``context & u`` (or ``& !u``)."""
+        atom = Signal(self.action.channel)
+        bad_action = Not(atom) if self.required else atom
+        return And([self.context, bad_action])
+
+    def parameters(self) -> FrozenSet[str]:
+        return self.context.parameters()
+
+
+@dataclass(frozen=True)
+class HMSEntry:
+    """One hazard-mitigation tuple ``(rho(mu(x)), u_rho, ts)``."""
+
+    name: str
+    context: Formula
+    safe_actions: Tuple[ControlAction, ...]
+    ts: float  # latest mitigation start after entering the context (minutes)
+
+    def __post_init__(self):
+        if not self.safe_actions:
+            raise ValueError("HMS entry needs at least one safe action")
+        if self.ts < 0:
+            raise ValueError(f"ts must be >= 0, got {self.ts}")
+
+    def to_stl(self, t0: float = 0.0, te: Optional[float] = None) -> Formula:
+        """Eq. 2: ``G[t0,te]( (F[0,ts] u_c) S context )``."""
+        atoms = [Signal(a.channel) for a in self.safe_actions]
+        any_safe: Formula = atoms[0] if len(atoms) == 1 else Or(atoms)
+        return Globally(Since(Eventually(any_safe, 0.0, self.ts), self.context),
+                        t0, te)
+
+    def parameters(self) -> FrozenSet[str]:
+        return self.context.parameters()
+
+
+@dataclass
+class SafetyContextSpec:
+    """A complete SCS: UCAS entries plus optional HMS entries."""
+
+    ucas: Sequence[UCASEntry] = field(default_factory=tuple)
+    hms: Sequence[HMSEntry] = field(default_factory=tuple)
+
+    def parameters(self) -> Dict[str, Optional[float]]:
+        """All learnable parameter names with their declared defaults."""
+        from ..stl.ast import all_params
+        out: Dict[str, Optional[float]] = {}
+        for entry in list(self.ucas) + list(self.hms):
+            out.update(all_params(entry.context))
+        return out
+
+    def entries_for_hazard(self, hazard: HazardType) -> Tuple[UCASEntry, ...]:
+        return tuple(e for e in self.ucas if e.hazard == hazard)
+
+    def entries_for_action(self, action: ControlAction) -> Tuple[UCASEntry, ...]:
+        return tuple(e for e in self.ucas if e.action == action)
+
+    def monitor_formulas(self, t0: float = 0.0,
+                         te: Optional[float] = None) -> Dict[str, Formula]:
+        """Name -> Eq. 1 formula for every UCAS entry."""
+        return {e.name: e.to_stl(t0, te) for e in self.ucas}

@@ -1,0 +1,45 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+All experiments take an :class:`~repro.experiments.config.ExperimentConfig`
+(scale presets: ``smoke``/``small``/``medium``/``full``) and return an
+:class:`~repro.experiments.render.ExperimentResult` whose ``text()`` prints
+the reproduced rows next to the paper's values.
+"""
+
+from .config import ExperimentConfig, PRESETS
+from .data import clear_cache, platform_data
+from .discussion import (
+    run_adversarial_ablation,
+    run_fault_free_generalisation,
+    run_multiclass_ablation,
+)
+from .fig3 import loss_curves, run_fig3
+from .fig9 import run_fig9
+from .overhead import run_overhead
+from .render import ExperimentResult
+from .resilience import run_fig7, run_fig8
+from .table5 import run_table5
+from .table6 import run_table6
+from .table7 import run_table7
+from .table8 import run_table8
+
+__all__ = [
+    "ExperimentConfig",
+    "PRESETS",
+    "clear_cache",
+    "platform_data",
+    "run_adversarial_ablation",
+    "run_fault_free_generalisation",
+    "run_multiclass_ablation",
+    "loss_curves",
+    "run_fig3",
+    "run_fig9",
+    "run_overhead",
+    "ExperimentResult",
+    "run_fig7",
+    "run_fig8",
+    "run_table5",
+    "run_table6",
+    "run_table7",
+    "run_table8",
+]

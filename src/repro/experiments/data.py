@@ -1,0 +1,148 @@
+"""Shared simulation data and trained monitors, cached per configuration.
+
+Every experiment needs the same expensive artifacts: the fault-injection
+campaign traces (simulated once, without a monitor — monitors are passive
+and can be *replayed*, see :mod:`repro.simulation.replay`), the fault-free
+reference runs, per-patient CAWT thresholds, and the trained ML baselines.
+This module builds and memoises them so the whole table/figure suite costs
+one campaign per platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines import GuidelineMonitor, MPCMonitor
+from ..core import cawot_monitor, cawt_monitor, learn_thresholds
+from ..core.monitor import SafetyMonitor
+from ..fi import CampaignConfig, INITIAL_GLUCOSE_VALUES, generate_campaign
+from ..ml import train_dt_monitor, train_lstm_monitor, train_mlp_monitor
+from ..simulation import kfold_split, replay_many, run_campaign, run_fault_free
+from .config import ExperimentConfig
+
+__all__ = ["PlatformData", "platform_data", "clear_cache",
+           "cawt_cv_replay", "baseline_monitors", "ml_monitors",
+           "train_test_split"]
+
+_DATA_CACHE: Dict[tuple, "PlatformData"] = {}
+_ML_CACHE: Dict[tuple, Dict[str, SafetyMonitor]] = {}
+
+
+@dataclass
+class PlatformData:
+    """Campaign + fault-free traces for one (platform, scale) choice."""
+
+    config: ExperimentConfig
+    traces: List            # faulty campaign traces, patient-major order
+    fault_free: List        # fault-free runs over the init-BG grid
+    by_patient: Dict[str, List]
+    fault_free_by_patient: Dict[str, List]
+
+    @property
+    def hazard_fraction(self) -> float:
+        return sum(t.hazardous for t in self.traces) / len(self.traces)
+
+
+def platform_data(config: ExperimentConfig) -> PlatformData:
+    """Simulate (or fetch cached) campaign data for *config*."""
+    key = config.cache_key()
+    if key in _DATA_CACHE:
+        return _DATA_CACHE[key]
+    campaign = generate_campaign(CampaignConfig(stride=config.stride))
+    traces = run_campaign(config.platform, config.patients, campaign,
+                          n_steps=config.n_steps)
+    fault_free = run_fault_free(config.platform, config.patients,
+                                INITIAL_GLUCOSE_VALUES, n_steps=config.n_steps)
+    by_patient: Dict[str, List] = {pid: [] for pid in config.patients}
+    for trace in traces:
+        by_patient[trace.patient_id].append(trace)
+    ff_by_patient: Dict[str, List] = {pid: [] for pid in config.patients}
+    for trace in fault_free:
+        ff_by_patient[trace.patient_id].append(trace)
+    data = PlatformData(config=config, traces=traces, fault_free=fault_free,
+                        by_patient=by_patient,
+                        fault_free_by_patient=ff_by_patient)
+    _DATA_CACHE[key] = data
+    return data
+
+
+def clear_cache() -> None:
+    """Drop all cached simulations and models (tests / memory control)."""
+    _DATA_CACHE.clear()
+    _ML_CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+# monitors
+# ----------------------------------------------------------------------
+
+def cawt_cv_replay(data: PlatformData,
+                   loss: str = "tmee") -> Tuple[List, List[np.ndarray]]:
+    """Patient-specific CAWT under k-fold cross-validation.
+
+    For each patient, thresholds are learned on the training folds (plus the
+    patient's fault-free runs) and replayed on the held-out fold.  Returns
+    the evaluation traces and matching alert sequences, covering every
+    campaign trace exactly once.
+    """
+    config = data.config
+    eval_traces: List = []
+    alerts: List[np.ndarray] = []
+    for pid in config.patients:
+        patient_traces = data.by_patient[pid]
+        ff = data.fault_free_by_patient[pid]
+        for fold in range(config.folds):
+            train, test = kfold_split(patient_traces, config.folds, fold)
+            result = learn_thresholds(train + ff, loss=loss,
+                                      window=config.mining_window)
+            monitor = cawt_monitor(result.thresholds)
+            alerts.extend(replay_many(monitor, test))
+            eval_traces.extend(test)
+    return eval_traces, alerts
+
+
+def cawt_full_thresholds(data: PlatformData, pid: str,
+                         loss: str = "tmee") -> dict:
+    """Thresholds learned from all of one patient's data (for mitigation)."""
+    result = learn_thresholds(
+        data.by_patient[pid] + data.fault_free_by_patient[pid], loss=loss,
+        window=data.config.mining_window)
+    return result.thresholds
+
+
+def baseline_monitors(config: ExperimentConfig) -> Dict[str, SafetyMonitor]:
+    """The non-ML baselines: CAWOT, Guideline, MPC."""
+    return {
+        "CAWOT": cawot_monitor(),
+        "Guideline": GuidelineMonitor(),
+        "MPC": MPCMonitor(horizon_steps=config.mpc_horizon),
+    }
+
+
+def train_test_split(data: PlatformData) -> Tuple[List, List]:
+    """The fold-0 split of the campaign (used for ML training)."""
+    return kfold_split(data.traces, data.config.folds, 0)
+
+
+def ml_monitors(data: PlatformData,
+                multiclass: bool = False) -> Dict[str, SafetyMonitor]:
+    """Trained DT/MLP/LSTM monitors (cached per config and head type)."""
+    key = data.config.cache_key() + (data.config.ml_epochs, multiclass)
+    if key in _ML_CACHE:
+        return _ML_CACHE[key]
+    train, _ = train_test_split(data)
+    config = data.config
+    monitors = {
+        "DT": train_dt_monitor(train, multiclass=multiclass, max_depth=8),
+        "MLP": train_mlp_monitor(train, multiclass=multiclass,
+                                 seed=config.seed,
+                                 max_epochs=config.ml_epochs),
+        "LSTM": train_lstm_monitor(train, k=config.lstm_window,
+                                   multiclass=multiclass, seed=config.seed,
+                                   max_epochs=config.ml_epochs),
+    }
+    _ML_CACHE[key] = monitors
+    return monitors

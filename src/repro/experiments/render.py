@@ -1,0 +1,32 @@
+"""Uniform experiment-result container and text rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..metrics import render_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table/figure: rows plus free-form notes."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def text(self) -> str:
+        parts = [self.title, "=" * len(self.title),
+                 render_table(self.headers, self.rows)]
+        if self.notes:
+            parts.append("")
+            parts.extend(f"* {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def row_dict(self, key_column: int = 0) -> dict:
+        """Rows keyed by their first (or chosen) column, for assertions."""
+        return {row[key_column]: row for row in self.rows}

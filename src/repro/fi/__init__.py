@@ -1,0 +1,26 @@
+"""Software fault-injection engine and campaign generator (Table II)."""
+
+from .campaign import (
+    CAMPAIGN_FAULTS,
+    CampaignConfig,
+    INITIAL_GLUCOSE_VALUES,
+    InjectionScenario,
+    TIMING_CHOICES,
+    generate_campaign,
+)
+from .engine import FaultInjector
+from .faults import FaultKind, FaultSpec, FaultTarget, VARIABLE_RANGES
+
+__all__ = [
+    "CAMPAIGN_FAULTS",
+    "CampaignConfig",
+    "INITIAL_GLUCOSE_VALUES",
+    "InjectionScenario",
+    "TIMING_CHOICES",
+    "generate_campaign",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSpec",
+    "FaultTarget",
+    "VARIABLE_RANGES",
+]

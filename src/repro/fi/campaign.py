@@ -1,0 +1,112 @@
+"""Fault-injection campaign generation.
+
+The paper's grid (Section V-B): for every patient, the combination of fault
+type, target variable, injection magnitude, one of 9 start-time/duration
+choices and 7 initial glucose values yields **882 fault injections per
+patient** (7 kinds x 2 targets x 9 timing choices x 7 initial BGs).  This
+module reproduces that grid at ``scale="full"`` and deterministic subsamples
+at smaller scales so CI-sized runs keep the same coverage structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .faults import FaultKind, FaultSpec, FaultTarget
+
+__all__ = ["CampaignConfig", "InjectionScenario", "generate_campaign",
+           "INITIAL_GLUCOSE_VALUES", "TIMING_CHOICES"]
+
+#: the paper's seven initial glucose values in [80, 200] mg/dL
+INITIAL_GLUCOSE_VALUES: Tuple[float, ...] = (80.0, 100.0, 120.0, 140.0,
+                                             160.0, 180.0, 200.0)
+
+#: nine (start_step, duration_steps) choices; starts span the 150-step
+#: simulation (including activation at t=0), durations range from 1 h to 3 h
+TIMING_CHOICES: Tuple[Tuple[int, int], ...] = (
+    (0, 24), (25, 12), (40, 30), (55, 18), (70, 36),
+    (85, 24), (100, 12), (110, 30), (120, 18),
+)
+
+#: the 14 (kind, target, value) fault configurations of the campaign,
+#: spanning Table II over the controller's input (glucose), outputs (rate)
+#: and internal state (IOB).  SCALE at 0.5 reproduces the ``dec*``
+#: bit-flip-style faults of Fig. 8.  14 configs x 9 timings x 7 initial BGs
+#: = the paper's 882 injections per patient.
+CAMPAIGN_FAULTS: Tuple[Tuple[FaultKind, FaultTarget, float], ...] = (
+    # controller input: the CGM value as seen by the control software
+    (FaultKind.HOLD, FaultTarget.GLUCOSE, 0.0),
+    (FaultKind.MAX, FaultTarget.GLUCOSE, 0.0),
+    (FaultKind.MIN, FaultTarget.GLUCOSE, 0.0),
+    (FaultKind.ADD, FaultTarget.GLUCOSE, 100.0),
+    (FaultKind.SUB, FaultTarget.GLUCOSE, 100.0),
+    # controller output: commanded basal rate
+    (FaultKind.TRUNCATE, FaultTarget.RATE, 0.0),
+    (FaultKind.HOLD, FaultTarget.RATE, 0.0),
+    (FaultKind.MAX, FaultTarget.RATE, 0.0),
+    (FaultKind.ADD, FaultTarget.RATE, 3.0),
+    (FaultKind.SCALE, FaultTarget.RATE, 0.5),
+    # controller internal state: the IOB estimate
+    (FaultKind.TRUNCATE, FaultTarget.IOB, 0.0),
+    (FaultKind.HOLD, FaultTarget.IOB, 0.0),
+    (FaultKind.MAX, FaultTarget.IOB, 0.0),
+    (FaultKind.SUB, FaultTarget.IOB, 3.0),
+)
+
+
+@dataclass(frozen=True)
+class InjectionScenario:
+    """One campaign entry: a fault plus the simulation's initial glucose."""
+
+    fault: FaultSpec
+    init_glucose: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.fault.label}@{self.fault.start_step}+{self.fault.duration_steps}" \
+               f"/bg{self.init_glucose:g}"
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Grid configuration.
+
+    ``stride`` deterministically subsamples the full grid (stride 1 = the
+    paper's 882 scenarios per patient).  ``init_glucose_values``,
+    ``timing_choices`` and ``faults`` default to the paper's grids.
+    """
+
+    stride: int = 1
+    init_glucose_values: Sequence[float] = INITIAL_GLUCOSE_VALUES
+    timing_choices: Sequence[Tuple[int, int]] = TIMING_CHOICES
+    faults: Sequence[Tuple[FaultKind, FaultTarget, float]] = CAMPAIGN_FAULTS
+
+    def __post_init__(self):
+        if self.stride < 1:
+            raise ValueError(f"stride must be >= 1, got {self.stride}")
+        if not self.init_glucose_values:
+            raise ValueError("need at least one initial glucose value")
+        if not self.timing_choices:
+            raise ValueError("need at least one timing choice")
+        if not self.faults:
+            raise ValueError("need at least one fault configuration")
+
+
+def generate_campaign(config: CampaignConfig = CampaignConfig()) -> List[InjectionScenario]:
+    """Enumerate the (possibly strided) injection grid, deterministically.
+
+    The full grid (stride 1, default grids) has
+    ``14 fault configs x 9 timings x 7 initial BGs = 882`` scenarios —
+    the paper's per-patient count (Section V-B).
+    """
+    scenarios: List[InjectionScenario] = []
+    for kind, target, value in config.faults:
+        for start, duration in config.timing_choices:
+            for init_bg in config.init_glucose_values:
+                fault = FaultSpec(kind=kind, target=target,
+                                  start_step=start, duration_steps=duration,
+                                  value=value)
+                scenarios.append(InjectionScenario(fault=fault,
+                                                   init_glucose=init_bg))
+    return scenarios[::config.stride]

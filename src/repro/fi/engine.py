@@ -1,0 +1,81 @@
+"""Software fault-injection engine.
+
+Wraps the controller interface of one closed-loop run: the simulation loop
+passes the sensed glucose through :meth:`FaultInjector.corrupt_reading`
+before the controller sees it and the commanded insulin through
+:meth:`FaultInjector.corrupt_command` after the controller produced it
+(before monitor and pump).  This matches the paper's source-level FI, which
+perturbs the controller software's state variables (Section IV-C1) — the
+faults are invisible to the plant and to the ground-truth labeling, which
+use the true patient state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .faults import FaultSpec, FaultTarget
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Applies one transient :class:`FaultSpec` during a simulation."""
+
+    def __init__(self, spec: FaultSpec):
+        self.spec = spec
+        self._held_reading: Optional[float] = None
+        self._held_rate: Optional[float] = None
+        self._held_bolus: Optional[float] = None
+        self._held_iob: Optional[float] = None
+        self.activated_step: Optional[int] = None
+
+    def reset(self) -> None:
+        self._held_reading = None
+        self._held_rate = None
+        self._held_bolus = None
+        self._held_iob = None
+        self.activated_step = None
+
+    def _mark_active(self, step: int) -> None:
+        if self.activated_step is None:
+            self.activated_step = step
+
+    def corrupt_reading(self, reading: float, step: int) -> float:
+        """Corrupt the controller's glucose input at *step* (if targeted)."""
+        if self.spec.target is not FaultTarget.GLUCOSE:
+            return reading
+        if not self.spec.active(step):
+            self._held_reading = reading
+            return reading
+        self._mark_active(step)
+        return self.spec.apply(reading, self._held_reading)
+
+    def corrupt_command(self, rate: float, bolus: float,
+                        step: int) -> Tuple[float, float]:
+        """Corrupt the controller's output command at *step* (if targeted)."""
+        if self.spec.target is FaultTarget.GLUCOSE:
+            return rate, bolus
+        if not self.spec.active(step):
+            self._held_rate = rate
+            self._held_bolus = bolus
+            return rate, bolus
+        self._mark_active(step)
+        if self.spec.target is FaultTarget.RATE:
+            return self.spec.apply(rate, self._held_rate), bolus
+        return rate, self.spec.apply(bolus, self._held_bolus)
+
+    def corrupt_iob(self, iob: float, step: int) -> float:
+        """Corrupt the controller's internal IOB estimate (if targeted)."""
+        if self.spec.target is not FaultTarget.IOB:
+            return iob
+        if not self.spec.active(step):
+            self._held_iob = iob
+            return iob
+        self._mark_active(step)
+        return self.spec.apply(iob, self._held_iob)
+
+    @property
+    def fault_step(self) -> int:
+        """The scheduled activation step ``tf`` of the fault."""
+        return self.spec.start_step

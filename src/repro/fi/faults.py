@@ -1,0 +1,146 @@
+"""Fault and attack models (Table II of the paper).
+
+Each :class:`FaultSpec` describes one transient fault: what it corrupts (the
+controller's glucose input, its commanded insulin rate, or a commanded
+bolus), how (the Table II manipulation types), when (activation step) and for
+how long.  The paper's threat model assumes errors are transient and occur
+once per simulation, so a spec is a single contiguous window.
+
+Manipulation types and the scenarios they simulate:
+
+==========  =====================================================
+truncate    output forced to zero (availability attack)
+hold        value frozen at its pre-fault level (DoS attack)
+max / min   saturation at the variable's allowed extreme
+            (integrity attack, e.g. ``maximize_rate``)
+add / sub   constant offset (memory fault / integrity attack)
+scale       multiplicative corruption; factor 0.5 reproduces the
+            paper's bit-flip-style ``dec*`` faults (Fig. 8)
+==========  =====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+__all__ = ["FaultKind", "FaultTarget", "FaultSpec", "VARIABLE_RANGES"]
+
+
+class FaultKind(enum.Enum):
+    TRUNCATE = "truncate"
+    HOLD = "hold"
+    MAX = "max"
+    MIN = "min"
+    ADD = "add"
+    SUB = "sub"
+    SCALE = "scale"
+
+
+class FaultTarget(enum.Enum):
+    """Controller variable the fault corrupts.
+
+    The paper's threat model covers "errors in inputs, outputs, and the
+    internal state variables of the APS control software" (Section IV-C1):
+    ``GLUCOSE`` is the input, ``RATE``/``BOLUS`` the outputs, and ``IOB`` the
+    controller's internal insulin-on-board estimate — corrupting it defeats
+    the controller's own compensation logic (e.g. a zeroed IOB makes it keep
+    stacking insulin).
+    """
+
+    GLUCOSE = "glucose"   # controller input (CGM value as seen by software)
+    RATE = "rate"         # controller output basal rate
+    BOLUS = "bolus"       # controller output bolus
+    IOB = "iob"           # controller-internal IOB estimate (net units)
+
+    @property
+    def is_input(self) -> bool:
+        return self is FaultTarget.GLUCOSE
+
+    @property
+    def is_internal(self) -> bool:
+        return self is FaultTarget.IOB
+
+
+#: acceptable ranges per target, used by MAX/MIN and for clamping the result
+#: of ADD/SUB/SCALE — the paper's FI perturbs "within the acceptable range".
+#: IOB is in the oref0 net convention, hence the negative floor.
+VARIABLE_RANGES: Dict[FaultTarget, Tuple[float, float]] = {
+    FaultTarget.GLUCOSE: (40.0, 400.0),
+    FaultTarget.RATE: (0.0, 10.0),
+    FaultTarget.BOLUS: (0.0, 10.0),
+    FaultTarget.IOB: (-2.0, 15.0),
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One transient fault scenario.
+
+    Attributes
+    ----------
+    kind:
+        The manipulation type.
+    target:
+        Which interface variable is corrupted.
+    start_step:
+        Control cycle at which the fault activates.
+    duration_steps:
+        Number of consecutive cycles the fault stays active.
+    value:
+        Magnitude for ``ADD``/``SUB`` (same unit as the target) or factor
+        for ``SCALE``; ignored by the other kinds.
+    """
+
+    kind: FaultKind
+    target: FaultTarget
+    start_step: int
+    duration_steps: int
+    value: float = 0.0
+
+    def __post_init__(self):
+        if self.start_step < 0:
+            raise ValueError(f"start_step must be >= 0, got {self.start_step}")
+        if self.duration_steps <= 0:
+            raise ValueError(
+                f"duration_steps must be positive, got {self.duration_steps}")
+        if self.kind is FaultKind.SCALE and self.value < 0:
+            raise ValueError(f"scale factor must be >= 0, got {self.value}")
+
+    @property
+    def end_step(self) -> int:
+        """First step after the fault window."""
+        return self.start_step + self.duration_steps
+
+    def active(self, step: int) -> bool:
+        return self.start_step <= step < self.end_step
+
+    def apply(self, value: float, held: Optional[float]) -> float:
+        """Corrupt *value*; *held* is the last pre-fault value (for HOLD)."""
+        lo, hi = VARIABLE_RANGES[self.target]
+        if self.kind is FaultKind.TRUNCATE:
+            corrupted = 0.0 if not self.target.is_input else lo
+        elif self.kind is FaultKind.HOLD:
+            corrupted = value if held is None else held
+        elif self.kind is FaultKind.MAX:
+            corrupted = hi
+        elif self.kind is FaultKind.MIN:
+            corrupted = lo
+        elif self.kind is FaultKind.ADD:
+            corrupted = value + self.value
+        elif self.kind is FaultKind.SUB:
+            corrupted = value - self.value
+        elif self.kind is FaultKind.SCALE:
+            corrupted = value * self.value
+        else:  # pragma: no cover - exhaustive enum
+            raise AssertionError(f"unhandled fault kind {self.kind}")
+        return min(max(corrupted, lo), hi)
+
+    @property
+    def label(self) -> str:
+        """Short human-readable id, Fig. 8 style (e.g. ``max_rate``)."""
+        base = self.kind.value
+        if self.kind is FaultKind.SCALE and self.value < 1.0:
+            base = "dec"
+        return f"{base}_{self.target.value}"

@@ -1,0 +1,26 @@
+"""BG risk index (Eq. 5) and hazard labeling (Section IV-C2)."""
+
+from .labeling import DEFAULT_WINDOW, HazardLabel, HazardType, label_hazards
+from .risk import (
+    HBGI_THRESHOLD,
+    LBGI_THRESHOLD,
+    hbgi,
+    lbgi,
+    risk,
+    rolling_indices,
+    signed_risk,
+)
+
+__all__ = [
+    "DEFAULT_WINDOW",
+    "HazardLabel",
+    "HazardType",
+    "label_hazards",
+    "HBGI_THRESHOLD",
+    "LBGI_THRESHOLD",
+    "hbgi",
+    "lbgi",
+    "risk",
+    "rolling_indices",
+    "signed_risk",
+]

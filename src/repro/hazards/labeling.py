@@ -1,0 +1,114 @@
+"""Hazard labeling of simulation traces (Section IV-C2 of the paper).
+
+A window of BG readings is marked hazardous when its LBGI or HBGI crosses the
+high-risk threshold (LBGI > 5 for H1/hypoglycemia, HBGI > 9 for
+H2/hyperglycemia) *and keeps increasing*, indicating a high chance of hypo-
+or hyperglycemia.  The first hazardous sample defines the hazard occurrence
+time ``th`` used by the Time-to-Hazard and reaction-time metrics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .risk import HBGI_THRESHOLD, LBGI_THRESHOLD, rolling_indices
+
+__all__ = ["HazardType", "HazardLabel", "label_hazards", "DEFAULT_WINDOW"]
+
+#: one hour of 5-minute samples
+DEFAULT_WINDOW = 12
+
+
+class HazardType(enum.IntEnum):
+    """The paper's two APS hazards (Section IV-B)."""
+
+    H1 = 1  # too much insulin -> hypoglycemia risk
+    H2 = 2  # too little insulin -> hyperglycemia risk
+
+
+@dataclass(frozen=True)
+class HazardLabel:
+    """Ground-truth hazard annotation of one simulation trace.
+
+    Attributes
+    ----------
+    hazardous:
+        Per-sample boolean ground truth ``G(t)``.
+    hazard_type:
+        Per-sample hazard type (0 = none, 1 = H1, 2 = H2).
+    first_hazard:
+        Sample index of hazard occurrence (``None`` if the trace is safe).
+    first_type:
+        Type of the first hazard (``None`` if safe).
+    lbgi, hbgi:
+        The rolling risk-index series used for the decision.
+    """
+
+    hazardous: np.ndarray
+    hazard_type: np.ndarray
+    first_hazard: Optional[int]
+    first_type: Optional[HazardType]
+    lbgi: np.ndarray
+    hbgi: np.ndarray
+
+    @property
+    def any_hazard(self) -> bool:
+        return self.first_hazard is not None
+
+    def hazard_time(self, dt: float = 5.0) -> Optional[float]:
+        """Hazard occurrence time ``th`` in minutes (None if safe)."""
+        if self.first_hazard is None:
+            return None
+        return self.first_hazard * dt
+
+
+def label_hazards(bg, window: int = DEFAULT_WINDOW,
+                  lbgi_threshold: float = LBGI_THRESHOLD,
+                  hbgi_threshold: float = HBGI_THRESHOLD) -> HazardLabel:
+    """Label a BG trace with per-sample hazard ground truth.
+
+    A sample is hazardous when the trailing-window LBGI (resp. HBGI) exceeds
+    its threshold and is not decreasing — "crossed a high-risk threshold and
+    kept increasing" in the paper's wording.
+    """
+    bg = np.asarray(bg, dtype=float)
+    if bg.ndim != 1:
+        raise ValueError(f"bg must be 1-D, got shape {bg.shape}")
+    lbgi_series, hbgi_series = rolling_indices(bg, window)
+
+    d_lbgi = np.diff(lbgi_series, prepend=lbgi_series[0])
+    d_hbgi = np.diff(hbgi_series, prepend=hbgi_series[0])
+    low_hazard = (lbgi_series > lbgi_threshold) & (d_lbgi >= 0)
+    high_hazard = (hbgi_series > hbgi_threshold) & (d_hbgi >= 0)
+    # a verdict needs a full window of readings: a single high starting
+    # sample (e.g. init BG 200) is not yet a hazard unless the risk keeps
+    # building over the first hour
+    warmup = min(window - 1, len(bg))
+    low_hazard[:warmup] = False
+    high_hazard[:warmup] = False
+
+    hazardous = low_hazard | high_hazard
+    hazard_type = np.zeros(len(bg), dtype=int)
+    # if both trip at the same sample (pathological swing), the larger
+    # threshold exceedance wins
+    both = low_hazard & high_hazard
+    hazard_type[low_hazard] = int(HazardType.H1)
+    hazard_type[high_hazard] = int(HazardType.H2)
+    if both.any():
+        l_exceed = lbgi_series - lbgi_threshold
+        h_exceed = hbgi_series - hbgi_threshold
+        hazard_type[both] = np.where(l_exceed[both] >= h_exceed[both],
+                                     int(HazardType.H1), int(HazardType.H2))
+
+    if hazardous.any():
+        first = int(np.argmax(hazardous))
+        first_type = HazardType(hazard_type[first])
+    else:
+        first, first_type = None, None
+    return HazardLabel(hazardous=hazardous, hazard_type=hazard_type,
+                       first_hazard=first, first_type=first_type,
+                       lbgi=lbgi_series, hbgi=hbgi_series)

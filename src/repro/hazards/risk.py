@@ -1,0 +1,105 @@
+"""Kovatchev blood-glucose risk index (Eq. 5 of the paper).
+
+The symmetrised BG risk function maps glucose readings to a risk score that
+treats hypo- and hyperglycemia comparably::
+
+    risk(BG) = 10 * (1.509 * ((ln BG)^1.084 - 5.381))^2
+
+The *sign* of the inner term splits the scale: negative for hypoglycemia
+(BG below ~112.5 mg/dL) and positive for hyperglycemia.  Averaging the
+negative-branch risks over a window yields the Low BG Index (LBGI), the
+positive branch the High BG Index (HBGI) — the quantities the paper
+thresholds (LBGI > 5, HBGI > 9) to label hazardous windows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["risk", "signed_risk", "lbgi", "hbgi", "rolling_indices",
+           "LBGI_THRESHOLD", "HBGI_THRESHOLD"]
+
+#: high-risk thresholds from the paper (footnote 1, Section IV-C2)
+LBGI_THRESHOLD = 5.0
+HBGI_THRESHOLD = 9.0
+
+# Kovatchev constants
+_A = 1.509
+_B = 1.084
+_C = 5.381
+
+#: glucose at which the risk function crosses zero (mg/dL)
+RISK_ZERO_BG = float(np.exp(_C ** (1.0 / _B)))
+
+
+def _inner(bg: np.ndarray) -> np.ndarray:
+    bg = np.asarray(bg, dtype=float)
+    if np.any(bg <= 0):
+        raise ValueError("glucose values must be positive")
+    return _A * (np.log(bg) ** _B - _C)
+
+
+def risk(bg) -> np.ndarray | float:
+    """Unsigned BG risk, Eq. 5.  Accepts scalars or arrays."""
+    scalar = np.isscalar(bg)
+    value = 10.0 * _inner(np.atleast_1d(bg)) ** 2
+    return float(value[0]) if scalar else value
+
+
+def signed_risk(bg) -> np.ndarray | float:
+    """Risk with the hypo branch negative and the hyper branch positive."""
+    scalar = np.isscalar(bg)
+    inner = _inner(np.atleast_1d(bg))
+    value = np.sign(inner) * 10.0 * inner ** 2
+    return float(value[0]) if scalar else value
+
+
+def lbgi(bg_window) -> float:
+    """Low BG Index of a window: mean unsigned risk of hypo-branch samples.
+
+    Samples on the hyper branch contribute zero, per the standard LBGI
+    definition (Kovatchev et al.).
+    """
+    signed = np.atleast_1d(signed_risk(bg_window))
+    low = np.where(signed < 0, -signed, 0.0)
+    return float(np.mean(low))
+
+
+def hbgi(bg_window) -> float:
+    """High BG Index of a window: mean unsigned risk of hyper-branch samples."""
+    signed = np.atleast_1d(signed_risk(bg_window))
+    high = np.where(signed > 0, signed, 0.0)
+    return float(np.mean(high))
+
+
+def rolling_indices(bg, window: int):
+    """Trailing-window LBGI/HBGI series over a BG trace.
+
+    Parameters
+    ----------
+    bg:
+        1-D array of glucose samples.
+    window:
+        Window length in samples (the paper uses one hour = 12 samples at
+        5-minute cycles).  Early samples use the available prefix.
+
+    Returns
+    -------
+    (lbgi_series, hbgi_series):
+        Arrays of the same length as *bg*.
+    """
+    bg = np.asarray(bg, dtype=float)
+    if window < 1:
+        raise ValueError(f"window must be >= 1 sample, got {window}")
+    signed = signed_risk(bg)
+    low = np.where(signed < 0, -signed, 0.0)
+    high = np.where(signed > 0, signed, 0.0)
+    # trailing mean with growing prefix at the start
+    csum_low = np.concatenate([[0.0], np.cumsum(low)])
+    csum_high = np.concatenate([[0.0], np.cumsum(high)])
+    idx = np.arange(1, len(bg) + 1)
+    start = np.maximum(idx - window, 0)
+    counts = idx - start
+    lbgi_series = (csum_low[idx] - csum_low[start]) / counts
+    hbgi_series = (csum_high[idx] - csum_high[start]) / counts
+    return lbgi_series, hbgi_series

@@ -1,0 +1,37 @@
+"""Evaluation metrics of Section V-D: tolerance-window accuracy,
+simulation-level two-region accuracy, timing, and mitigation quality."""
+
+from .confusion import (
+    ConfusionCounts,
+    DEFAULT_TOLERANCE,
+    tolerance_confusion,
+    traces_confusion,
+)
+from .report import format_value, render_table
+from .risk_metric import MitigationOutcome, mitigation_outcome, trace_risk_index
+from .simulation_level import simulation_confusion
+from .timing import (
+    ReactionStats,
+    first_alert_step,
+    hazard_coverage,
+    reaction_stats,
+    time_to_hazard_stats,
+)
+
+__all__ = [
+    "ConfusionCounts",
+    "DEFAULT_TOLERANCE",
+    "tolerance_confusion",
+    "traces_confusion",
+    "format_value",
+    "render_table",
+    "MitigationOutcome",
+    "mitigation_outcome",
+    "trace_risk_index",
+    "simulation_confusion",
+    "ReactionStats",
+    "first_alert_step",
+    "hazard_coverage",
+    "reaction_stats",
+    "time_to_hazard_stats",
+]

@@ -1,0 +1,86 @@
+"""Mitigation-quality metrics: recovery rate, new hazards, average risk.
+
+Eq. 9 of the paper::
+
+    Risk_avg = (1/N) * [ sum over FN cases of RI(i)
+                         + sum over mitigation-induced new hazards of RI(i) ]
+
+where ``RI(i)`` is the mean BG risk index of simulation *i*.  FN cases leave
+the patient unprotected; false alarms can trigger mitigation that *creates*
+a hazard that the unmonitored system would not have had.  Both the recovery
+rate and the new-hazard count therefore compare each mitigated run against
+its unmonitored twin (same patient, same fault scenario).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..hazards import risk
+
+__all__ = ["MitigationOutcome", "mitigation_outcome", "trace_risk_index"]
+
+
+def trace_risk_index(trace) -> float:
+    """Mean unsigned BG risk index of a simulation (its RI(i))."""
+    return float(np.mean(risk(trace.true_bg)))
+
+
+@dataclass
+class MitigationOutcome:
+    """Table VII row: mitigation performance of one monitor."""
+
+    monitor: str
+    n_simulations: int
+    baseline_hazards: int
+    recovered: int
+    new_hazards: int
+    missed: int                # FN: hazardous with monitor, never alerted
+    average_risk: float
+
+    @property
+    def recovery_rate(self) -> float:
+        if self.baseline_hazards == 0:
+            return float("nan")
+        return self.recovered / self.baseline_hazards
+
+
+def mitigation_outcome(monitor_name: str, baseline_traces: Sequence,
+                       mitigated_traces: Sequence) -> MitigationOutcome:
+    """Compare mitigated runs against their unmonitored twins.
+
+    ``baseline_traces[i]`` and ``mitigated_traces[i]`` must be the same
+    (patient, scenario) pair run without and with the monitor+mitigator.
+    """
+    if len(baseline_traces) != len(mitigated_traces):
+        raise ValueError("baseline and mitigated campaigns differ in size")
+    n = len(baseline_traces)
+    baseline_hazards = 0
+    recovered = 0
+    new_hazards = 0
+    missed = 0
+    risk_sum = 0.0
+    for base, mitigated in zip(baseline_traces, mitigated_traces):
+        base_hazard = base.hazardous
+        mit_hazard = mitigated.hazardous
+        if base_hazard:
+            baseline_hazards += 1
+            if not mit_hazard:
+                recovered += 1
+        if mit_hazard:
+            alerted = bool(mitigated.alert.any())
+            if not alerted:
+                # FN: hazard happened with no warning or mitigation
+                missed += 1
+                risk_sum += trace_risk_index(mitigated)
+            elif not base_hazard:
+                # alert + mitigation created a hazard the plain system avoided
+                new_hazards += 1
+                risk_sum += trace_risk_index(mitigated)
+    return MitigationOutcome(monitor=monitor_name, n_simulations=n,
+                             baseline_hazards=baseline_hazards,
+                             recovered=recovered, new_hazards=new_hazards,
+                             missed=missed, average_risk=risk_sum / n if n else 0.0)

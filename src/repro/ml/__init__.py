@@ -1,0 +1,41 @@
+"""ML substrate for the baseline monitors: CART tree, numpy MLP and LSTM."""
+
+from .datasets import (
+    FEATURE_NAMES,
+    build_point_dataset,
+    build_window_dataset,
+    context_features,
+    point_labels,
+    trace_features,
+)
+from .monitors import (
+    DTMonitor,
+    LSTMMonitor,
+    MLPMonitor,
+    train_dt_monitor,
+    train_lstm_monitor,
+    train_mlp_monitor,
+)
+from .nn import Adam, LSTMClassifier, LSTMLayer, MLPClassifier, Standardizer
+from .tree import DecisionTreeClassifier
+
+__all__ = [
+    "FEATURE_NAMES",
+    "build_point_dataset",
+    "build_window_dataset",
+    "context_features",
+    "point_labels",
+    "trace_features",
+    "DTMonitor",
+    "LSTMMonitor",
+    "MLPMonitor",
+    "train_dt_monitor",
+    "train_lstm_monitor",
+    "train_mlp_monitor",
+    "Adam",
+    "LSTMClassifier",
+    "LSTMLayer",
+    "MLPClassifier",
+    "Standardizer",
+    "DecisionTreeClassifier",
+]

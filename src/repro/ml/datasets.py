@@ -1,0 +1,105 @@
+"""Dataset construction for the ML baseline monitors (Eqs. 7 and 8).
+
+The DT/MLP monitors classify single cycles: input ``(x_t, u_t)``, output
+"will any hazard occur at a future time of this simulation?" (Eq. 7).  The
+LSTM monitor consumes sliding windows of ``k`` cycles (Eq. 8).  Labels come
+from the ground-truth hazard annotation of each trace; the multi-class
+variant (Section VI-1) predicts the *type* of the upcoming hazard instead of
+a binary flag.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from ..controllers import ControlAction
+
+__all__ = ["FEATURE_NAMES", "trace_features", "point_labels",
+           "build_point_dataset", "build_window_dataset", "context_features"]
+
+#: feature layout shared by training data and runtime monitors
+FEATURE_NAMES: Tuple[str, ...] = ("BG", "BG'", "IOB", "IOB'", "rate", "bolus",
+                                  "u1", "u2", "u3", "u4")
+
+
+def trace_features(trace) -> np.ndarray:
+    """Per-cycle feature matrix ``(n, len(FEATURE_NAMES))`` of a trace."""
+    n = len(trace)
+    bg_rate = np.zeros(n)
+    bg_rate[1:] = np.diff(trace.cgm) / trace.dt
+    columns = [trace.cgm, bg_rate, trace.iob, trace.iob_rate,
+               trace.cmd_rate, trace.cmd_bolus]
+    for act in ControlAction:
+        columns.append((trace.action == int(act)).astype(float))
+    return np.column_stack(columns)
+
+
+def context_features(ctx) -> np.ndarray:
+    """The same feature layout computed from a runtime ContextVector."""
+    row = [ctx.bg, ctx.bg_rate, ctx.iob, ctx.iob_rate, ctx.rate, ctx.bolus]
+    row.extend(1.0 if ctx.action == act else 0.0 for act in ControlAction)
+    return np.asarray(row, dtype=float)
+
+
+def point_labels(trace, multiclass: bool = False) -> np.ndarray:
+    """Eq. 7 labels: positive when a hazard occurs at any future time.
+
+    Binary: 1 where some ground-truth hazardous sample exists at ``t' >= t``.
+    Multi-class: 0 = safe, otherwise the type (1 = H1, 2 = H2) of the nearest
+    hazardous sample at or after ``t``.
+    """
+    label = trace.hazard_label
+    hazardous = label.hazardous.astype(bool)
+    n = len(hazardous)
+    if not multiclass:
+        # suffix-any via reversed cumulative maximum
+        return np.maximum.accumulate(hazardous[::-1])[::-1].astype(int)
+    out = np.zeros(n, dtype=int)
+    upcoming = 0
+    for t in range(n - 1, -1, -1):
+        if hazardous[t]:
+            upcoming = int(label.hazard_type[t])
+        out[t] = upcoming
+    return out
+
+
+def build_point_dataset(traces: Iterable,
+                        multiclass: bool = False) -> Tuple[np.ndarray, np.ndarray]:
+    """Stacked (X, y) over all cycles of all traces (Eq. 7)."""
+    xs: List[np.ndarray] = []
+    ys: List[np.ndarray] = []
+    for trace in traces:
+        xs.append(trace_features(trace))
+        ys.append(point_labels(trace, multiclass=multiclass))
+    if not xs:
+        raise ValueError("no traces supplied")
+    return np.concatenate(xs), np.concatenate(ys)
+
+
+def build_window_dataset(traces: Iterable, k: int = 6,
+                         multiclass: bool = False) -> Tuple[np.ndarray, np.ndarray]:
+    """Sliding-window (X, y) with ``X[i]`` of shape (k, D) (Eq. 8).
+
+    The window at position ``t`` covers cycles ``[t-k+1, t]`` and carries the
+    label of cycle ``t``; the first ``k-1`` cycles of each trace yield no
+    sample (the paper's LSTM needs 30 minutes of history).
+    """
+    if k < 1:
+        raise ValueError(f"window k must be >= 1, got {k}")
+    xs: List[np.ndarray] = []
+    ys: List[np.ndarray] = []
+    for trace in traces:
+        features = trace_features(trace)
+        labels = point_labels(trace, multiclass=multiclass)
+        n = len(features)
+        if n < k:
+            continue
+        windows = np.lib.stride_tricks.sliding_window_view(
+            features, (k, features.shape[1])).squeeze(axis=1)
+        xs.append(windows.copy())
+        ys.append(labels[k - 1:])
+    if not xs:
+        raise ValueError("no traces long enough for the window size")
+    return np.concatenate(xs), np.concatenate(ys)

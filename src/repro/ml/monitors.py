@@ -1,0 +1,131 @@
+"""ML baseline monitors: DT, MLP and LSTM wrapped as safety monitors.
+
+Each monitor embeds a trained classifier and implements the same
+:class:`~repro.core.monitor.SafetyMonitor` interface as the context-aware
+monitor, so the evaluation harness treats them interchangeably.
+
+Binary classifiers can only flag a command as unsafe; the hazard *type*
+needed by the mitigation algorithm is then inferred from the glucose context
+(below target -> H1, above -> H2).  The multi-class variants predict the
+type directly (the Section VI-1 comparison).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..core.context import ContextVector
+from ..core.monitor import MonitorVerdict, NO_ALERT, SafetyMonitor
+from ..hazards import HazardType
+from .datasets import build_point_dataset, build_window_dataset, context_features
+from .nn import LSTMClassifier, MLPClassifier
+from .tree import DecisionTreeClassifier
+
+__all__ = ["DTMonitor", "MLPMonitor", "LSTMMonitor",
+           "train_dt_monitor", "train_mlp_monitor", "train_lstm_monitor"]
+
+
+def _infer_hazard(prediction: int, bg: float, bg_target: float,
+                  multiclass: bool) -> HazardType:
+    if multiclass:
+        return HazardType(prediction)
+    return HazardType.H1 if bg < bg_target else HazardType.H2
+
+
+class _PointMonitor(SafetyMonitor):
+    """Monitor over single-cycle features (DT and MLP)."""
+
+    def __init__(self, model, name: str, multiclass: bool = False,
+                 bg_target: float = 120.0):
+        self.model = model
+        self.name = name
+        self.multiclass = multiclass
+        self.bg_target = bg_target
+
+    def observe(self, ctx: ContextVector) -> MonitorVerdict:
+        features = context_features(ctx).reshape(1, -1)
+        prediction = int(self.model.predict(features)[0])
+        if prediction == 0:
+            return NO_ALERT
+        hazard = _infer_hazard(prediction, ctx.bg, self.bg_target,
+                               self.multiclass)
+        return MonitorVerdict(alert=True, hazard=hazard,
+                              triggered=(self.name.lower(),))
+
+
+class DTMonitor(_PointMonitor):
+    def __init__(self, model: DecisionTreeClassifier, multiclass: bool = False,
+                 bg_target: float = 120.0):
+        super().__init__(model, "DT", multiclass, bg_target)
+
+
+class MLPMonitor(_PointMonitor):
+    def __init__(self, model: MLPClassifier, multiclass: bool = False,
+                 bg_target: float = 120.0):
+        super().__init__(model, "MLP", multiclass, bg_target)
+
+
+class LSTMMonitor(SafetyMonitor):
+    """Monitor over sliding windows of the last ``k`` cycles."""
+
+    def __init__(self, model: LSTMClassifier, k: int = 6,
+                 multiclass: bool = False, bg_target: float = 120.0):
+        if k < 1:
+            raise ValueError(f"window k must be >= 1, got {k}")
+        self.model = model
+        self.k = k
+        self.multiclass = multiclass
+        self.bg_target = bg_target
+        self.name = "LSTM"
+        self._buffer: deque = deque(maxlen=k)
+
+    def reset(self) -> None:
+        self._buffer.clear()
+
+    def observe(self, ctx: ContextVector) -> MonitorVerdict:
+        self._buffer.append(context_features(ctx))
+        if len(self._buffer) < self.k:
+            return NO_ALERT  # not enough history yet
+        window = np.stack(self._buffer)[None, :, :]
+        prediction = int(self.model.predict(window)[0])
+        if prediction == 0:
+            return NO_ALERT
+        hazard = _infer_hazard(prediction, ctx.bg, self.bg_target,
+                               self.multiclass)
+        return MonitorVerdict(alert=True, hazard=hazard, triggered=("lstm",))
+
+
+# ----------------------------------------------------------------------
+# training helpers
+# ----------------------------------------------------------------------
+
+def train_dt_monitor(traces: Iterable, multiclass: bool = False,
+                     bg_target: float = 120.0,
+                     **tree_kwargs) -> DTMonitor:
+    """Fit a decision tree on the campaign traces (Eq. 7 dataset)."""
+    X, y = build_point_dataset(traces, multiclass=multiclass)
+    model = DecisionTreeClassifier(**tree_kwargs).fit(X, y)
+    return DTMonitor(model, multiclass=multiclass, bg_target=bg_target)
+
+
+def train_mlp_monitor(traces: Iterable, multiclass: bool = False,
+                      bg_target: float = 120.0, seed: Optional[int] = 0,
+                      **mlp_kwargs) -> MLPMonitor:
+    """Fit the paper's 256-128 MLP on the campaign traces."""
+    X, y = build_point_dataset(traces, multiclass=multiclass)
+    n_classes = 3 if multiclass else 2
+    model = MLPClassifier(n_classes=n_classes, seed=seed, **mlp_kwargs).fit(X, y)
+    return MLPMonitor(model, multiclass=multiclass, bg_target=bg_target)
+
+
+def train_lstm_monitor(traces: Iterable, k: int = 6, multiclass: bool = False,
+                       bg_target: float = 120.0, seed: Optional[int] = 0,
+                       **lstm_kwargs) -> LSTMMonitor:
+    """Fit the paper's stacked LSTM(128, 64) on k-cycle windows."""
+    X, y = build_window_dataset(traces, k=k, multiclass=multiclass)
+    n_classes = 3 if multiclass else 2
+    model = LSTMClassifier(n_classes=n_classes, seed=seed, **lstm_kwargs).fit(X, y)
+    return LSTMMonitor(model, k=k, multiclass=multiclass, bg_target=bg_target)

@@ -1,0 +1,21 @@
+"""From-scratch numpy neural networks (layers, LSTM, Adam, classifiers)."""
+
+from .layers import Dense, Dropout, Layer, ReLU
+from .losses import softmax, softmax_cross_entropy
+from .lstm import LSTMLayer
+from .model import LSTMClassifier, MLPClassifier, Standardizer
+from .optim import Adam
+
+__all__ = [
+    "Dense",
+    "Dropout",
+    "Layer",
+    "ReLU",
+    "softmax",
+    "softmax_cross_entropy",
+    "LSTMLayer",
+    "LSTMClassifier",
+    "MLPClassifier",
+    "Standardizer",
+    "Adam",
+]

@@ -1,0 +1,46 @@
+"""Classification losses (numpy).
+
+The paper trains its MLP/LSTM monitors with sparse categorical
+cross-entropy over softmax outputs; this module provides the numerically
+stable fused softmax + cross-entropy with its gradient.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["softmax", "softmax_cross_entropy"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise stable softmax."""
+    z = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def softmax_cross_entropy(logits: np.ndarray,
+                          targets: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean sparse categorical cross-entropy and gradient w.r.t. logits.
+
+    Parameters
+    ----------
+    logits:
+        (n, k) unnormalised scores.
+    targets:
+        (n,) integer class labels in [0, k).
+    """
+    n, k = logits.shape
+    targets = np.asarray(targets)
+    if targets.shape != (n,):
+        raise ValueError(f"targets must have shape ({n},), got {targets.shape}")
+    if targets.min() < 0 or targets.max() >= k:
+        raise ValueError("target labels out of range")
+    probs = softmax(logits)
+    eps = 1e-12
+    loss = float(-np.mean(np.log(probs[np.arange(n), targets] + eps)))
+    grad = probs.copy()
+    grad[np.arange(n), targets] -= 1.0
+    return loss, grad / n

@@ -1,0 +1,47 @@
+"""Adam optimizer (Kingma & Ba), numpy implementation.
+
+The paper trains its neural monitors with Adam at learning rate 0.001
+(Section V-C4); this is the standard bias-corrected variant.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = ["Adam"]
+
+
+class Adam:
+    """Adam over a fixed list of parameter arrays (updated in place)."""
+
+    def __init__(self, params: List[np.ndarray], lr: float = 1e-3,
+                 beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0 <= beta1 < 1 or not 0 <= beta2 < 1:
+            raise ValueError("betas must be in [0, 1)")
+        self.params = list(params)
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p) for p in self.params]
+        self._v = [np.zeros_like(p) for p in self.params]
+        self._t = 0
+
+    def step(self, grads: List[np.ndarray]) -> None:
+        """Apply one update given gradients aligned with ``params``."""
+        if len(grads) != len(self.params):
+            raise ValueError(
+                f"expected {len(self.params)} gradient arrays, got {len(grads)}")
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for p, g, m, v in zip(self.params, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            p -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)

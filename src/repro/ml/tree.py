@@ -1,0 +1,187 @@
+"""CART decision-tree classifier (numpy, from scratch).
+
+Stands in for the scikit-learn decision tree the paper uses as an ML
+baseline monitor.  Standard CART: greedy binary splits minimising weighted
+Gini impurity, with depth / minimum-samples regularisation.  Supports
+multi-class targets (binary safe/unsafe and the Section VI multi-class
+hazard-type variant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["DecisionTreeClassifier"]
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    counts: Optional[np.ndarray] = None  # class counts at leaves
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - np.sum(p * p))
+
+
+class DecisionTreeClassifier:
+    """Greedy CART classifier.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root = depth 0).
+    min_samples_split:
+        Do not split nodes smaller than this.
+    min_samples_leaf:
+        Both children of a split must keep at least this many samples.
+    max_thresholds:
+        Cap on candidate thresholds per feature per node (quantile-based
+        subsampling keeps training fast on large campaigns).
+    """
+
+    def __init__(self, max_depth: int = 8, min_samples_split: int = 10,
+                 min_samples_leaf: int = 5, max_thresholds: int = 64):
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_thresholds = max_thresholds
+        self._root: Optional[_Node] = None
+        self.classes_: Optional[np.ndarray] = None
+        self.n_nodes_ = 0
+
+    # ------------------------------------------------------------------
+    # fitting
+    # ------------------------------------------------------------------
+    def fit(self, X, y) -> "DecisionTreeClassifier":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if len(X) != len(y):
+            raise ValueError("X and y length mismatch")
+        if len(X) == 0:
+            raise ValueError("cannot fit on empty data")
+        self.classes_, y_enc = np.unique(y, return_inverse=True)
+        self.n_nodes_ = 0
+        self._root = self._build(X, y_enc, depth=0)
+        return self
+
+    def _class_counts(self, y_enc: np.ndarray) -> np.ndarray:
+        return np.bincount(y_enc, minlength=len(self.classes_))
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        self.n_nodes_ += 1
+        counts = self._class_counts(y)
+        node = _Node(counts=counts)
+        if (depth >= self.max_depth or len(y) < self.min_samples_split
+                or _gini(counts) == 0.0):
+            return node
+        split = self._best_split(X, y, counts)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray,
+                    counts: np.ndarray):
+        best_gain = 1e-12
+        best = None
+        parent_impurity = _gini(counts)
+        n = len(y)
+        for feature in range(X.shape[1]):
+            column = X[:, feature]
+            order = np.argsort(column, kind="stable")
+            sorted_col = column[order]
+            sorted_y = y[order]
+            # candidate boundaries: positions where the value changes
+            change = np.flatnonzero(np.diff(sorted_col) > 0) + 1
+            if change.size == 0:
+                continue
+            if change.size > self.max_thresholds:
+                idx = np.linspace(0, change.size - 1, self.max_thresholds)
+                change = change[idx.astype(int)]
+            # cumulative class counts along the sorted order
+            one_hot = np.zeros((n, len(self.classes_)))
+            one_hot[np.arange(n), sorted_y] = 1.0
+            csum = np.cumsum(one_hot, axis=0)
+            left_counts = csum[change - 1]
+            right_counts = counts - left_counts
+            n_left = change.astype(float)
+            n_right = n - n_left
+            valid = (n_left >= self.min_samples_leaf) & (n_right >= self.min_samples_leaf)
+            if not valid.any():
+                continue
+            with np.errstate(divide="ignore", invalid="ignore"):
+                p_left = left_counts / n_left[:, None]
+                p_right = right_counts / n_right[:, None]
+            gini_left = 1.0 - np.sum(p_left ** 2, axis=1)
+            gini_right = 1.0 - np.sum(p_right ** 2, axis=1)
+            weighted = (n_left * gini_left + n_right * gini_right) / n
+            weighted[~valid] = np.inf
+            best_idx = int(np.argmin(weighted))
+            gain = parent_impurity - weighted[best_idx]
+            if gain > best_gain:
+                boundary = change[best_idx]
+                threshold = (sorted_col[boundary - 1] + sorted_col[boundary]) / 2.0
+                best_gain = gain
+                best = (feature, float(threshold))
+        return best
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def _leaf(self, x: np.ndarray) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if x[node.feature] <= node.threshold else node.right
+        return node
+
+    def predict_proba(self, X) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        out = np.empty((len(X), len(self.classes_)))
+        for i, x in enumerate(X):
+            counts = self._leaf(x).counts
+            out[i] = counts / counts.sum()
+        return out
+
+    def predict(self, X) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    @property
+    def depth_(self) -> int:
+        def depth(node, d):
+            if node is None or node.is_leaf:
+                return d
+            return max(depth(node.left, d + 1), depth(node.right, d + 1))
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        return depth(self._root, 0)

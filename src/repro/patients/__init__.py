@@ -1,0 +1,36 @@
+"""Virtual patient models, CGM sensor and insulin pump.
+
+Two glucose-simulator substrates (DESIGN.md §1):
+
+- :mod:`repro.patients.ivp` — the Kanderian identifiable-virtual-patient
+  model used by Glucosym, with a 10-adult synthetic cohort (patients A..J);
+- :mod:`repro.patients.t1d` — the Dalla Man UVA/Padova S2013 model, with a
+  10-adult synthetic cohort (P01..P10).
+"""
+
+from .base import Meal, PatientModel, rk4_step
+from .cohort import COHORTS, all_patients, make_patient, patient_ids
+from .ivp import GLUCOSYM_COHORT, IVPParams, IVPPatient, glucosym_patient
+from .pump import InsulinPump
+from .sensor import CGMSensor
+from .t1d import T1DS2013_COHORT, T1DParams, T1DPatient, t1d_patient
+
+__all__ = [
+    "Meal",
+    "PatientModel",
+    "rk4_step",
+    "COHORTS",
+    "all_patients",
+    "make_patient",
+    "patient_ids",
+    "GLUCOSYM_COHORT",
+    "IVPParams",
+    "IVPPatient",
+    "glucosym_patient",
+    "InsulinPump",
+    "CGMSensor",
+    "T1DS2013_COHORT",
+    "T1DParams",
+    "T1DPatient",
+    "t1d_patient",
+]

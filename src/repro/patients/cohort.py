@@ -1,0 +1,46 @@
+"""Patient cohort registry.
+
+The paper evaluates on 20 patient profiles: 10 in the Glucosym simulator and
+10 in the UVA-Padova T1DS2013 simulator (Section V-A).  This module provides
+a uniform way to enumerate and construct them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import PatientModel
+from .ivp import GLUCOSYM_COHORT, glucosym_patient
+from .t1d import T1DS2013_COHORT, t1d_patient
+
+__all__ = ["COHORTS", "patient_ids", "make_patient", "all_patients"]
+
+#: cohort name -> list of patient ids
+COHORTS: Dict[str, List[str]] = {
+    "glucosym": sorted(GLUCOSYM_COHORT),
+    "t1ds2013": sorted(T1DS2013_COHORT),
+}
+
+
+def patient_ids(cohort: str) -> List[str]:
+    """Patient ids of *cohort* (``"glucosym"`` or ``"t1ds2013"``)."""
+    try:
+        return list(COHORTS[cohort])
+    except KeyError:
+        raise KeyError(
+            f"unknown cohort {cohort!r}; available: {sorted(COHORTS)}") from None
+
+
+def make_patient(cohort: str, patient_id: str,
+                 target_glucose: float = 120.0) -> PatientModel:
+    """Construct one virtual patient from a cohort."""
+    if cohort == "glucosym":
+        return glucosym_patient(patient_id, target_glucose=target_glucose)
+    if cohort == "t1ds2013":
+        return t1d_patient(patient_id, target_glucose=target_glucose)
+    raise KeyError(f"unknown cohort {cohort!r}; available: {sorted(COHORTS)}")
+
+
+def all_patients(cohort: str, target_glucose: float = 120.0) -> List[PatientModel]:
+    """Construct every patient in *cohort*."""
+    return [make_patient(cohort, pid, target_glucose) for pid in patient_ids(cohort)]

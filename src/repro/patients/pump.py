@@ -1,0 +1,84 @@
+"""Insulin pump actuator model.
+
+The pump executes the (possibly monitor-corrected) controller command.  Real
+pumps quantize basal rates, enforce a hardware maximum and support a suspend
+state; all three matter for the paper's experiments because mitigation
+(Algorithm 1) commands either zero insulin (H1) or the maximum rate (H2).
+"""
+
+from __future__ import annotations
+
+__all__ = ["InsulinPump"]
+
+
+class InsulinPump:
+    """Basal-rate insulin pump with quantization and limits.
+
+    Parameters
+    ----------
+    max_basal:
+        Hardware maximum basal rate (U/h).
+    max_bolus:
+        Maximum single bolus (U).
+    increment:
+        Basal-rate quantization step (U/h); typical pumps use 0.05 U/h.
+    """
+
+    def __init__(self, max_basal: float = 10.0, max_bolus: float = 10.0,
+                 increment: float = 0.05):
+        if max_basal <= 0 or max_bolus <= 0:
+            raise ValueError("pump limits must be positive")
+        if increment <= 0:
+            raise ValueError(f"increment must be positive, got {increment}")
+        self.max_basal = float(max_basal)
+        self.max_bolus = float(max_bolus)
+        self.increment = float(increment)
+        self.suspended = False
+        self.last_basal = 0.0
+        self.last_bolus = 0.0
+        self.total_delivered = 0.0  # units, updated by record_delivery
+
+    def quantize(self, rate: float) -> float:
+        """Round *rate* down to the pump's increment grid."""
+        steps = int(rate / self.increment + 1e-9)
+        return steps * self.increment
+
+    def command_basal(self, rate: float) -> float:
+        """Clamp, quantize and latch a basal-rate command; returns actual U/h."""
+        if self.suspended:
+            self.last_basal = 0.0
+            return 0.0
+        rate = min(max(rate, 0.0), self.max_basal)
+        actual = self.quantize(rate)
+        self.last_basal = actual
+        return actual
+
+    def command_bolus(self, units: float) -> float:
+        """Clamp a bolus command; returns actual units."""
+        if self.suspended:
+            self.last_bolus = 0.0
+            return 0.0
+        actual = min(max(units, 0.0), self.max_bolus)
+        self.last_bolus = actual
+        return actual
+
+    def suspend(self) -> None:
+        """Stop all delivery until :meth:`resume`."""
+        self.suspended = True
+        self.last_basal = 0.0
+
+    def resume(self) -> None:
+        self.suspended = False
+
+    def record_delivery(self, basal_u_h: float, bolus_u: float,
+                        duration_min: float) -> None:
+        """Account for insulin actually delivered over a control step."""
+        if duration_min < 0:
+            raise ValueError("duration must be >= 0")
+        self.total_delivered += basal_u_h * duration_min / 60.0 + bolus_u
+
+    def reset(self) -> None:
+        self.suspended = False
+        self.last_basal = 0.0
+        self.last_bolus = 0.0
+        self.total_delivered = 0.0

@@ -1,0 +1,388 @@
+"""UVA/Padova T1DS2013-style virtual patient — the Dalla Man S2013 model.
+
+The paper's second platform pairs a Basal-Bolus controller with the
+FDA-accepted UVA-Padova Type 1 Diabetes Simulator S2013.  The commercial
+simulator's equations are published (Dalla Man et al., "The UVA/PADOVA Type 1
+Diabetes Simulator: New Features", J Diabetes Sci Technol 2014); this module
+implements that ODE system:
+
+- two-compartment glucose kinetics (plasma ``Gp``, tissue ``Gt``);
+- endogenous glucose production inhibited by a delayed insulin signal;
+- insulin-dependent utilization with the S2013 hypoglycemia risk
+  amplification;
+- renal excretion above a glucose threshold;
+- two-compartment plasma/liver insulin kinetics;
+- two-compartment subcutaneous insulin absorption;
+- three-compartment gastro-intestinal tract (stomach solid/liquid + gut) with
+  the nonlinear gastric-emptying rate;
+- a subcutaneous glucose compartment read by the CGM.
+
+Substitution note (see DESIGN.md §3): the commercial simulator's 30-patient
+parameter file is proprietary.  We synthesise a 10-adult cohort around the
+published adult-average parameters; each patient's ``kp1`` is solved so the
+patient is exactly at steady state with a physiologic basal plasma insulin,
+which guarantees a well-posed basal rate for every cohort member.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict
+
+import numpy as np
+
+from .base import GLUCOSE_FLOOR, PatientModel, rk4_step, PMOL_PER_UNIT, UU_PER_UNIT
+
+__all__ = ["T1DParams", "T1DPatient", "T1DS2013_COHORT", "t1d_patient"]
+
+
+@dataclass(frozen=True)
+class T1DParams:
+    """Parameters of the S2013 model (adult units, per-kg where applicable)."""
+
+    BW: float = 78.0        # body weight (kg)
+    # glucose kinetics
+    VG: float = 1.88        # glucose distribution volume (dL/kg)
+    k1: float = 0.065       # Gp -> Gt transfer (1/min)
+    k2: float = 0.079       # Gt -> Gp transfer (1/min)
+    # endogenous glucose production
+    kp1: float = 2.70       # maximal EGP (mg/kg/min); solved per patient
+    kp2: float = 0.0021     # EGP suppression by glucose (1/min)
+    kp3: float = 0.009      # EGP suppression by delayed insulin (mg/kg/min per pmol/L)
+    ki: float = 0.0079      # delayed insulin signal rate (1/min)
+    # utilization
+    Fsnc: float = 1.0       # insulin-independent utilization (mg/kg/min)
+    Vm0: float = 2.50       # basal insulin-dependent utilization (mg/kg/min)
+    Vmx: float = 0.047      # insulin sensitivity of utilization (mg/kg/min per pmol/L)
+    Km0: float = 225.59     # Michaelis constant (mg/kg)
+    p2u: float = 0.0331     # insulin action rate (1/min)
+    # renal excretion
+    ke1: float = 0.0005     # renal clearance (1/min)
+    ke2: float = 339.0      # renal threshold (mg/kg)
+    # insulin kinetics
+    VI: float = 0.05        # insulin distribution volume (L/kg)
+    m1: float = 0.190       # liver insulin rates (1/min)
+    m2: float = 0.484
+    m3: float = 0.285
+    m4: float = 0.194
+    # subcutaneous insulin absorption
+    kd: float = 0.0164      # Isc1 -> Isc2 (1/min)
+    ka1: float = 0.0018     # Isc1 -> plasma (1/min)
+    ka2: float = 0.0182     # Isc2 -> plasma (1/min)
+    # gastro-intestinal tract
+    kmax: float = 0.0558    # max gastric emptying (1/min)
+    kmin: float = 0.0080    # min gastric emptying (1/min)
+    kabs: float = 0.057     # intestinal absorption (1/min)
+    kgri: float = 0.0558    # grinding rate (1/min)
+    f: float = 0.90         # fraction of absorbed glucose appearing in plasma
+    b: float = 0.82         # gastric-emptying shape parameters
+    d: float = 0.010
+    # subcutaneous glucose (CGM) compartment
+    ksc: float = 0.0766     # 1/min
+    # S2013 hypoglycemia risk amplification of utilization
+    r1: float = 0.05        # risk gain on Vmx (calibrated, see DESIGN.md)
+    r2: float = 1.44        # risk exponent
+    Gb: float = 120.0       # basal (target) glucose (mg/dL)
+    Gth: float = 60.0       # hypoglycemia saturation threshold (mg/dL)
+
+    def __post_init__(self):
+        positive = ("BW", "VG", "k1", "k2", "kp2", "kp3", "ki", "Vm0", "Vmx",
+                    "Km0", "p2u", "VI", "m1", "m2", "m3", "m4", "kd", "ka1",
+                    "ka2", "kmax", "kmin", "kabs", "kgri", "ksc", "Gb")
+        for field in positive:
+            if getattr(self, field) <= 0:
+                raise ValueError(f"S2013 parameter {field} must be positive")
+
+
+# state vector indices
+GP, GT, IP, IL, I1, ID, XA, ISC1, ISC2, GS, QSTO1, QSTO2, QGUT = range(13)
+
+
+def _solve_basal_state(p: T1DParams, glucose: float):
+    """Closed-form steady state of the S2013 model at fasting *glucose*.
+
+    Returns ``(Gt, Ib, IIRb)``: tissue glucose (mg/kg), basal plasma insulin
+    (pmol/L) and basal infusion (pmol/kg/min).  Raises ``ValueError`` when the
+    parameters cannot hold the requested glucose (negative basal insulin).
+    """
+    gp = glucose * p.VG
+    # dGt = 0 with X = 0:  k1*Gp = k2*Gt + Vm0*Gt/(Km0+Gt)
+    # => k2*Gt^2 + (k2*Km0 + Vm0 - k1*Gp)*Gt - k1*Gp*Km0 = 0
+    a = p.k2
+    b = p.k2 * p.Km0 + p.Vm0 - p.k1 * gp
+    c = -p.k1 * gp * p.Km0
+    gt = (-b + math.sqrt(b * b - 4.0 * a * c)) / (2.0 * a)
+    excretion = p.ke1 * max(gp - p.ke2, 0.0)
+    egp_required = p.Fsnc + excretion + p.k1 * gp - p.k2 * gt
+    ib = (p.kp1 - p.kp2 * gp - egp_required) / p.kp3
+    if ib <= 0:
+        raise ValueError(
+            f"parameters cannot sustain fasting glucose {glucose} mg/dL "
+            f"(basal insulin would be {ib:.2f} pmol/L)")
+    ip = ib * p.VI
+    il = p.m2 * ip / (p.m1 + p.m3)
+    iirb = (p.m2 + p.m4) * ip - p.m1 * il
+    if iirb <= 0:
+        raise ValueError("steady state yields non-positive basal infusion")
+    return gt, ib, iirb
+
+
+def _solve_state_at(p: T1DParams, glucose: float, ib_ref: float,
+                    risk_value: float, iterations: int = 40):
+    """Steady state at *glucose* with the remote-action reference *ib_ref*.
+
+    Unlike :func:`_solve_basal_state` (which defines the X = 0 anchor at the
+    patient's chronic basal), this solves the coupled (Gt, I) fixed point
+    with X = I - ib_ref, so a simulation can start in quasi-steady state at
+    any glucose while keeping the patient's chronic insulin reference.
+
+    Returns ``(Gt, I, IIR)`` with I >= a small positive floor (high starting
+    glucose may not be sustainable with positive insulin).
+    """
+    gp = glucose * p.VG
+    floor = 0.05 * ib_ref
+    insulin = ib_ref
+    gt = gp * p.k1 / p.k2
+    for _ in range(iterations):
+        x = insulin - ib_ref
+        vm = max(p.Vm0 + p.Vmx * x * (1.0 + p.r1 * risk_value), 0.05 * p.Vm0)
+        a = p.k2
+        b = p.k2 * p.Km0 + vm - p.k1 * gp
+        c = -p.k1 * gp * p.Km0
+        gt = (-b + math.sqrt(b * b - 4.0 * a * c)) / (2.0 * a)
+        excretion = p.ke1 * max(gp - p.ke2, 0.0)
+        egp_required = p.Fsnc + excretion + p.k1 * gp - p.k2 * gt
+        insulin_new = max((p.kp1 - p.kp2 * gp - egp_required) / p.kp3, floor)
+        if abs(insulin_new - insulin) < 1e-10:
+            insulin = insulin_new
+            break
+        insulin = 0.5 * insulin + 0.5 * insulin_new
+    ip = insulin * p.VI
+    il = p.m2 * ip / (p.m1 + p.m3)
+    iir = max((p.m2 + p.m4) * ip - p.m1 * il, 0.0)
+    return gt, insulin, iir
+
+
+def solve_kp1(p: T1DParams, basal_insulin: float, glucose: float | None = None) -> float:
+    """``kp1`` that puts the patient at steady state with *basal_insulin* pmol/L."""
+    glucose = p.Gb if glucose is None else glucose
+    gp = glucose * p.VG
+    a = p.k2
+    b = p.k2 * p.Km0 + p.Vm0 - p.k1 * gp
+    c = -p.k1 * gp * p.Km0
+    gt = (-b + math.sqrt(b * b - 4.0 * a * c)) / (2.0 * a)
+    excretion = p.ke1 * max(gp - p.ke2, 0.0)
+    egp_required = p.Fsnc + excretion + p.k1 * gp - p.k2 * gt
+    return egp_required + p.kp2 * gp + p.kp3 * basal_insulin
+
+
+class T1DPatient(PatientModel):
+    """A virtual T1D patient governed by the Dalla Man S2013 model."""
+
+    N_STATES = 13
+
+    def __init__(self, params: T1DParams, name: str = "t1d",
+                 target_glucose: float | None = None):
+        super().__init__(name)
+        self.params = params
+        self.target_glucose = params.Gb if target_glucose is None else float(target_glucose)
+        self._state = np.zeros(self.N_STATES)
+        self._last_meal_mg = 0.0
+        self._basal_insulin = 0.0  # Ib, pmol/L (set by reset)
+        self.reset(self.target_glucose)
+
+    # ------------------------------------------------------------------
+    # PatientModel interface
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> np.ndarray:
+        return self._state.copy()
+
+    @property
+    def glucose(self) -> float:
+        return float(self._state[GP] / self.params.VG)
+
+    @property
+    def sensor_glucose(self) -> float:
+        """Interstitial glucose (the CGM compartment), mg/dL."""
+        return float(self._state[GS])
+
+    @property
+    def plasma_insulin(self) -> float:
+        """Plasma insulin concentration, pmol/L."""
+        return float(self._state[IP] / self.params.VI)
+
+    def basal_rate(self, target_glucose: float | None = None) -> float:
+        """Steady-state basal in U/h for a fasting target (closed form)."""
+        target = self.target_glucose if target_glucose is None else target_glucose
+        _, _, iirb = _solve_basal_state(self.params, target)
+        # pmol/kg/min -> U/h
+        return iirb * self.params.BW * 60.0 / PMOL_PER_UNIT
+
+    def reset(self, init_glucose: float) -> None:
+        """Quasi-steady state at the starting glucose.
+
+        Insulin compartments are set to the level that holds
+        ``init_glucose`` (clamped to a small positive floor when the
+        requested glucose exceeds what zero insulin can sustain), and the
+        remote-action reference ``Ib`` is re-anchored there — the patient's
+        chronic state at simulation start.  See the IVP model for the
+        rationale.
+        """
+        if init_glucose <= 0:
+            raise ValueError(f"initial glucose must be positive, got {init_glucose}")
+        p = self.params
+        # the chronic insulin reference (X = 0 anchor) always corresponds to
+        # the patient's target-glucose basal
+        _, ib_ref, _ = _solve_basal_state(p, self.target_glucose)
+        self._basal_insulin = ib_ref
+        gt, insulin, iirb = _solve_state_at(p, init_glucose, ib_ref,
+                                            self._risk(init_glucose))
+        gp = init_glucose * p.VG
+        ip = insulin * p.VI
+        il = p.m2 * ip / (p.m1 + p.m3)
+        isc1 = iirb / (p.kd + p.ka1)
+        isc2 = p.kd * isc1 / p.ka2
+        self._state = np.zeros(self.N_STATES)
+        self._state[GP] = gp
+        self._state[GT] = gt
+        self._state[IP] = ip
+        self._state[IL] = il
+        self._state[I1] = insulin
+        self._state[ID] = insulin
+        self._state[XA] = insulin - ib_ref
+        self._state[ISC1] = isc1
+        self._state[ISC2] = isc2
+        self._state[GS] = init_glucose
+        self._last_meal_mg = 0.0
+        self.t = 0.0
+        self._meals = []
+        self._pending_bolus_uu = 0.0
+
+    # ------------------------------------------------------------------
+    # dynamics
+    # ------------------------------------------------------------------
+    def _risk(self, glucose: float) -> float:
+        """S2013 hypoglycemia risk amplification factor (dimensionless)."""
+        p = self.params
+        if glucose >= p.Gb:
+            return 0.0
+        g = max(glucose, p.Gth)
+        diff = math.log(g) ** p.r2 - math.log(p.Gb) ** p.r2
+        return 10.0 * diff * diff
+
+    def _gastric_emptying(self, qsto: float) -> float:
+        p = self.params
+        if self._last_meal_mg <= 0:
+            return p.kmax
+        d_mg = self._last_meal_mg
+        alpha = 5.0 / (2.0 * d_mg * (1.0 - p.b))
+        beta = 5.0 / (2.0 * d_mg * p.d)
+        return p.kmin + (p.kmax - p.kmin) / 2.0 * (
+            math.tanh(alpha * (qsto - p.b * d_mg))
+            - math.tanh(beta * (qsto - p.d * d_mg)) + 2.0)
+
+    def _ingest(self, carbs_g: float) -> None:
+        carbs_mg = carbs_g * 1000.0
+        self._state[QSTO1] += carbs_mg
+        self._last_meal_mg = carbs_mg
+
+    def derivatives(self, t: float, x: np.ndarray, insulin_uu_min: float) -> np.ndarray:
+        p = self.params
+        dx = np.zeros(self.N_STATES)
+        glucose = x[GP] / p.VG
+
+        # gastro-intestinal tract
+        qsto = x[QSTO1] + x[QSTO2]
+        kempt = self._gastric_emptying(qsto)
+        dx[QSTO1] = -p.kgri * x[QSTO1]
+        dx[QSTO2] = p.kgri * x[QSTO1] - kempt * x[QSTO2]
+        dx[QGUT] = kempt * x[QSTO2] - p.kabs * x[QGUT]
+        ra = p.f * p.kabs * x[QGUT] / p.BW
+
+        # insulin kinetics (subcutaneous -> plasma/liver)
+        iir = insulin_uu_min * (PMOL_PER_UNIT / UU_PER_UNIT) / p.BW  # pmol/kg/min
+        dx[ISC1] = -(p.kd + p.ka1) * x[ISC1] + iir
+        dx[ISC2] = p.kd * x[ISC1] - p.ka2 * x[ISC2]
+        rai = p.ka1 * x[ISC1] + p.ka2 * x[ISC2]
+        dx[IL] = -(p.m1 + p.m3) * x[IL] + p.m2 * x[IP]
+        dx[IP] = -(p.m2 + p.m4) * x[IP] + p.m1 * x[IL] + rai
+        insulin = x[IP] / p.VI  # pmol/L
+
+        # delayed insulin signal and remote insulin action
+        dx[I1] = -p.ki * (x[I1] - insulin)
+        dx[ID] = -p.ki * (x[ID] - x[I1])
+        dx[XA] = -p.p2u * x[XA] + p.p2u * (insulin - self._basal_insulin)
+
+        # glucose kinetics
+        egp = max(p.kp1 - p.kp2 * x[GP] - p.kp3 * x[ID], 0.0)
+        excretion = p.ke1 * max(x[GP] - p.ke2, 0.0)
+        vm = p.Vm0 + p.Vmx * x[XA] * (1.0 + p.r1 * self._risk(glucose))
+        uid = max(vm, 0.0) * x[GT] / (p.Km0 + x[GT])
+        dx[GP] = egp + ra - p.Fsnc - excretion - p.k1 * x[GP] + p.k2 * x[GT]
+        dx[GT] = -uid + p.k1 * x[GP] - p.k2 * x[GT]
+
+        # subcutaneous (CGM) glucose
+        dx[GS] = -p.ksc * (x[GS] - glucose)
+        return dx
+
+    def _advance(self, dt: float, insulin_uu_min: float) -> None:
+        self._state = rk4_step(
+            lambda t, x: self.derivatives(t, x, insulin_uu_min),
+            self.t, self._state, dt)
+        # All states are physical quantities except the remote insulin action
+        # X, which is a deviation from basal and legitimately negative when
+        # plasma insulin drops below basal.
+        x_action = self._state[XA]
+        np.maximum(self._state, 0.0, out=self._state)
+        self._state[XA] = x_action
+        self._state[GP] = max(self._state[GP], GLUCOSE_FLOOR * self.params.VG)
+        self._state[GS] = max(self._state[GS], GLUCOSE_FLOOR)
+
+
+def _make_cohort() -> Dict[str, T1DParams]:
+    """Synthetic 10-adult cohort around published adult-average parameters.
+
+    Each entry varies insulin sensitivity (Vmx, kp3), utilization (Vm0),
+    kinetics and body weight, then solves ``kp1`` so the patient is at steady
+    state with the listed basal plasma insulin — guaranteeing a physiologic,
+    well-posed basal for every cohort member.
+    """
+    base = T1DParams()
+    # overrides: (BW, Vmx, kp3, Vm0, ki, p2u, kd, VG, basal insulin pmol/L)
+    spec = {
+        "P01": (78.0, 0.047, 0.0090, 2.50, 0.0079, 0.0331, 0.0164, 1.88, 60.0),
+        "P02": (66.0, 0.034, 0.0065, 2.30, 0.0070, 0.0280, 0.0150, 1.80, 75.0),
+        "P03": (85.0, 0.060, 0.0110, 2.70, 0.0090, 0.0380, 0.0180, 1.95, 50.0),
+        "P04": (92.0, 0.028, 0.0055, 2.20, 0.0065, 0.0250, 0.0145, 1.75, 90.0),
+        "P05": (71.0, 0.052, 0.0100, 2.60, 0.0085, 0.0350, 0.0170, 1.90, 55.0),
+        "P06": (59.0, 0.041, 0.0080, 2.40, 0.0074, 0.0300, 0.0158, 1.84, 68.0),
+        "P07": (81.0, 0.067, 0.0125, 2.85, 0.0095, 0.0400, 0.0188, 2.00, 45.0),
+        "P08": (75.0, 0.037, 0.0072, 2.35, 0.0072, 0.0290, 0.0152, 1.82, 72.0),
+        "P09": (88.0, 0.056, 0.0105, 2.65, 0.0088, 0.0360, 0.0175, 1.92, 52.0),
+        "P10": (63.0, 0.045, 0.0085, 2.45, 0.0077, 0.0320, 0.0160, 1.86, 63.0),
+    }
+    cohort = {}
+    for name, (bw, vmx, kp3, vm0, ki, p2u, kd, vg, ib) in spec.items():
+        params = replace(base, BW=bw, Vmx=vmx, kp3=kp3, Vm0=vm0, ki=ki,
+                         p2u=p2u, kd=kd, VG=vg)
+        params = replace(params, kp1=solve_kp1(params, ib))
+        cohort[name] = params
+    return cohort
+
+
+#: Deterministic synthetic cohort standing in for the commercial simulator's
+#: 10 adult patients.
+T1DS2013_COHORT: Dict[str, T1DParams] = _make_cohort()
+
+
+def t1d_patient(patient_id: str, target_glucose: float | None = None) -> T1DPatient:
+    """Construct a cohort patient by id (``"P01"`` .. ``"P10"``)."""
+    key = patient_id.upper()
+    if key not in T1DS2013_COHORT:
+        raise KeyError(
+            f"unknown T1DS2013 patient {patient_id!r}; "
+            f"available: {sorted(T1DS2013_COHORT)}")
+    return T1DPatient(T1DS2013_COHORT[key], name=f"t1ds2013/{key}",
+                      target_glucose=target_glucose)

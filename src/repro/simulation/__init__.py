@@ -1,0 +1,30 @@
+"""Closed-loop APS simulation: engine, scenarios, traces, campaign batches."""
+
+from .batch import (
+    controller_profile,
+    kfold_split,
+    make_controller,
+    make_loop,
+    run_campaign,
+    run_fault_free,
+)
+from .loop import ClosedLoop
+from .replay import iter_contexts, replay_many, replay_monitor
+from .scenario import Scenario
+from .trace import SimulationTrace, TraceRecorder
+
+__all__ = [
+    "controller_profile",
+    "kfold_split",
+    "make_controller",
+    "make_loop",
+    "run_campaign",
+    "run_fault_free",
+    "ClosedLoop",
+    "iter_contexts",
+    "replay_many",
+    "replay_monitor",
+    "Scenario",
+    "SimulationTrace",
+    "TraceRecorder",
+]

@@ -1,0 +1,55 @@
+"""Simulation scenario configuration.
+
+The paper's experiments run the patient-controller loop for 150 iterations of
+5 minutes (~12.5 hours), starting from an initial glucose between 80 and
+200 mg/dL, with no meals or exercise during the simulated period
+(Section V-A).  :class:`Scenario` captures those choices so campaigns are
+explicit and reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..patients import Meal
+
+__all__ = ["Scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One closed-loop run configuration.
+
+    Attributes
+    ----------
+    init_glucose:
+        Starting blood glucose (mg/dL).
+    n_steps:
+        Number of control cycles (paper: 150).
+    dt:
+        Control period in minutes (paper: 5).
+    meals:
+        Optional scheduled meals (the paper's scenarios have none).
+    label:
+        Free-form tag for reports.
+    """
+
+    init_glucose: float = 120.0
+    n_steps: int = 150
+    dt: float = 5.0
+    meals: Tuple[Meal, ...] = field(default_factory=tuple)
+    label: str = ""
+
+    def __post_init__(self):
+        if self.init_glucose <= 0:
+            raise ValueError(f"init_glucose must be positive, got {self.init_glucose}")
+        if self.n_steps < 2:
+            raise ValueError(f"n_steps must be >= 2, got {self.n_steps}")
+        if self.dt <= 0:
+            raise ValueError(f"dt must be positive, got {self.dt}")
+
+    @property
+    def duration(self) -> float:
+        """Total simulated minutes."""
+        return self.n_steps * self.dt

@@ -1,0 +1,134 @@
+"""Simulation trace recording and conversion to STL traces.
+
+A :class:`SimulationTrace` stores the full per-cycle record of one closed-loop
+run: true and sensed glucose, the controller's command before and after fault
+injection, the monitor verdicts, what the pump delivered, and the fault
+metadata.  Ground-truth hazard labels (Section IV-C2) are computed lazily
+from the *true* glucose — faults corrupt the controller, not the plant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import List, Optional
+
+import numpy as np
+
+from ..controllers import ControlAction
+from ..fi import FaultSpec
+from ..hazards import HazardLabel, label_hazards
+from ..stl import Trace
+
+__all__ = ["SimulationTrace", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class SimulationTrace:
+    """Immutable record of one closed-loop simulation."""
+
+    # identity
+    platform: str          # "glucosym" or "t1ds2013"
+    patient_id: str
+    label: str
+    dt: float
+    # per-step arrays (length n_steps)
+    t: np.ndarray              # minutes at sensing time
+    true_bg: np.ndarray        # plant blood glucose (mg/dL)
+    cgm: np.ndarray            # clean sensor reading (monitor's view)
+    reading: np.ndarray        # controller input (post fault injection)
+    ctrl_rate: np.ndarray      # controller output (U/h), pre-FI
+    ctrl_bolus: np.ndarray     # controller bolus (U), pre-FI
+    cmd_rate: np.ndarray       # command post-FI (what the monitor inspects)
+    cmd_bolus: np.ndarray
+    action: np.ndarray         # int codes of ControlAction for cmd_*
+    iob: np.ndarray            # loop-side IOB estimate (U)
+    iob_rate: np.ndarray       # dIOB/dt (U/min)
+    final_rate: np.ndarray     # post-mitigation command
+    final_bolus: np.ndarray
+    delivered_rate: np.ndarray  # what the pump executed
+    delivered_bolus: np.ndarray
+    alert: np.ndarray          # monitor alerts (bool)
+    alert_hazard: np.ndarray   # predicted hazard type per alert (0/1/2)
+    mitigated: np.ndarray      # mitigation replaced the command (bool)
+    # fault metadata
+    fault: Optional[FaultSpec] = None
+
+    def __len__(self) -> int:
+        return len(self.t)
+
+    @property
+    def fault_step(self) -> Optional[int]:
+        """Scheduled fault-activation step ``tf`` (None for fault-free runs)."""
+        return None if self.fault is None else self.fault.start_step
+
+    @cached_property
+    def hazard_label(self) -> HazardLabel:
+        """Ground-truth hazard annotation from the true glucose."""
+        return label_hazards(self.true_bg)
+
+    @property
+    def hazardous(self) -> bool:
+        return self.hazard_label.any_hazard
+
+    @property
+    def first_alert(self) -> Optional[int]:
+        """Index of the first monitor alert (None if never alerted)."""
+        idx = np.flatnonzero(self.alert)
+        return int(idx[0]) if idx.size else None
+
+    def time_to_hazard(self) -> Optional[float]:
+        """TTH = th - tf in minutes (None when not computable)."""
+        if self.fault is None or not self.hazardous:
+            return None
+        return (self.hazard_label.first_hazard - self.fault.start_step) * self.dt
+
+    def reaction_time(self) -> Optional[float]:
+        """th - td in minutes; positive = early detection (Section V-D)."""
+        if not self.hazardous or self.first_alert is None:
+            return None
+        return (self.hazard_label.first_hazard - self.first_alert) * self.dt
+
+    def to_stl_trace(self) -> Trace:
+        """Monitor-view STL trace: BG, BG', IOB, IOB', u1..u4, rate, bolus."""
+        channels = {
+            "BG": self.cgm,
+            "IOB": self.iob,
+            "IOB'": self.iob_rate,
+            "rate": self.cmd_rate,
+            "bolus": self.cmd_bolus,
+        }
+        for act in ControlAction:
+            channels[act.channel] = (self.action == int(act)).astype(float)
+        trace = Trace(channels, dt=self.dt)
+        return trace.with_derivative("BG")
+
+    def summary(self) -> str:
+        haz = "hazardous" if self.hazardous else "safe"
+        fault = self.fault.label if self.fault else "fault-free"
+        return (f"{self.platform}/{self.patient_id} [{fault}] {len(self)} steps, "
+                f"{haz}, alerts={int(self.alert.sum())}")
+
+
+@dataclass
+class TraceRecorder:
+    """Row-by-row builder for :class:`SimulationTrace`."""
+
+    platform: str
+    patient_id: str
+    label: str
+    dt: float
+    fault: Optional[FaultSpec] = None
+    _rows: List[dict] = field(default_factory=list)
+
+    def append(self, **row) -> None:
+        self._rows.append(row)
+
+    def finish(self) -> SimulationTrace:
+        if not self._rows:
+            raise ValueError("cannot finish an empty trace")
+        columns = {key: np.array([row[key] for row in self._rows])
+                   for key in self._rows[0]}
+        return SimulationTrace(platform=self.platform,
+                               patient_id=self.patient_id, label=self.label,
+                               dt=self.dt, fault=self.fault, **columns)

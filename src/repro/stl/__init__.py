@@ -1,0 +1,51 @@
+"""Discrete-time bounded Signal Temporal Logic (STL) engine.
+
+This subpackage is a self-contained STL library used by the safety-context
+specification framework (:mod:`repro.core`): formula AST, boolean and
+quantitative robustness semantics over uniformly-sampled traces, and a text
+parser.
+"""
+
+from .ast import (
+    And,
+    Atomic,
+    Eventually,
+    Formula,
+    Globally,
+    Implies,
+    Not,
+    Or,
+    Param,
+    Predicate,
+    Signal,
+    Since,
+    Until,
+    all_params,
+)
+from .parser import ParseError, parse
+from .semantics import robustness, satisfaction, satisfied, trace_robustness
+from .signals import Trace
+
+__all__ = [
+    "And",
+    "Atomic",
+    "Eventually",
+    "Formula",
+    "Globally",
+    "Implies",
+    "Not",
+    "Or",
+    "Param",
+    "Predicate",
+    "Signal",
+    "Since",
+    "Until",
+    "all_params",
+    "ParseError",
+    "parse",
+    "robustness",
+    "satisfaction",
+    "satisfied",
+    "trace_robustness",
+    "Trace",
+]

@@ -1,0 +1,227 @@
+"""A small recursive-descent parser for textual STL formulas.
+
+Grammar (minutes as the time unit, matching :class:`repro.stl.signals.Trace`)::
+
+    formula    := until ('->' formula)?                 # implication, right-assoc
+    until      := disjunct (('U' | 'S') window? disjunct)?
+    disjunct   := conjunct ('|' conjunct)*
+    conjunct   := unary ('&' unary)*
+    unary      := '!' unary
+                | ('G' | 'F') window? '(' formula ')'
+                | atom
+    atom       := ident cmp (number | ident)            # comparison / param
+                | ident                                  # boolean channel
+                | 'true' | 'false'
+                | '(' formula ')'
+    window     := '[' number ',' (number | 'end') ']'
+    cmp        := '<' | '<=' | '>' | '>=' | '==' | '!='
+
+Identifiers may end in apostrophes, so the paper's rate-of-change channels
+``BG'`` and ``IOB'`` parse naturally.  An identifier on the right-hand side of
+a comparison becomes a learnable :class:`~repro.stl.ast.Param`; defaults can
+be supplied through the ``params`` argument of :func:`parse`.
+
+Example
+-------
+>>> from repro.stl import parse
+>>> f = parse("G[0,720]((BG > 180 & BG' > 0 & IOB < beta1) -> !u1)")
+>>> sorted(f.parameters())
+['beta1']
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .ast import (
+    And,
+    Atomic,
+    Eventually,
+    Formula,
+    Globally,
+    Implies,
+    Not,
+    Or,
+    Param,
+    Predicate,
+    Signal,
+    Since,
+    Until,
+)
+
+__all__ = ["parse", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Raised when a formula string cannot be parsed."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<number>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)"
+    r"|(?P<ident>[A-Za-z_][A-Za-z0-9_]*'*)"
+    r"|(?P<op><=|>=|==|!=|->|<|>|&&|\|\||[!&|()\[\],])"
+    r")"
+)
+
+_KEYWORDS = {"G", "F", "U", "S", "true", "false", "end"}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            remainder = text[pos:].lstrip()
+            if not remainder:
+                break
+            raise ParseError(f"unexpected character at: {remainder[:20]!r}")
+        if match.lastgroup == "number":
+            tokens.append(("number", match.group("number")))
+        elif match.lastgroup == "ident":
+            tokens.append(("ident", match.group("ident")))
+        else:
+            op = match.group("op")
+            op = {"&&": "&", "||": "|"}.get(op, op)
+            tokens.append(("op", op))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]],
+                 params: Optional[Dict[str, float]]):
+        self.tokens = tokens
+        self.pos = 0
+        self.params = params or {}
+
+    # -- token helpers -------------------------------------------------
+    def peek(self) -> Optional[Tuple[str, str]]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of formula")
+        self.pos += 1
+        return token
+
+    def expect(self, value: str) -> None:
+        token = self.next()
+        if token[1] != value:
+            raise ParseError(f"expected {value!r}, got {token[1]!r}")
+
+    def accept(self, value: str) -> bool:
+        token = self.peek()
+        if token is not None and token[1] == value:
+            self.pos += 1
+            return True
+        return False
+
+    # -- grammar -------------------------------------------------------
+    def formula(self) -> Formula:
+        left = self.until()
+        if self.accept("->"):
+            return Implies(left, self.formula())
+        return left
+
+    def until(self) -> Formula:
+        left = self.disjunct()
+        token = self.peek()
+        if token is not None and token[1] in ("U", "S"):
+            self.next()
+            lo, hi = self.window()
+            right = self.disjunct()
+            cls = Until if token[1] == "U" else Since
+            return cls(left, right, lo, hi)
+        return left
+
+    def disjunct(self) -> Formula:
+        parts = [self.conjunct()]
+        while self.accept("|"):
+            parts.append(self.conjunct())
+        return parts[0] if len(parts) == 1 else Or(parts)
+
+    def conjunct(self) -> Formula:
+        parts = [self.unary()]
+        while self.accept("&"):
+            parts.append(self.unary())
+        return parts[0] if len(parts) == 1 else And(parts)
+
+    def unary(self) -> Formula:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of formula")
+        if token[1] == "!":
+            self.next()
+            return Not(self.unary())
+        if token[0] == "ident" and token[1] in ("G", "F"):
+            self.next()
+            lo, hi = self.window()
+            self.expect("(")
+            inner = self.formula()
+            self.expect(")")
+            cls = Globally if token[1] == "G" else Eventually
+            return cls(inner, lo, hi)
+        return self.atom()
+
+    def window(self) -> Tuple[float, Optional[float]]:
+        if not self.accept("["):
+            return 0.0, None
+        lo_tok = self.next()
+        if lo_tok[0] != "number":
+            raise ParseError(f"expected window lower bound, got {lo_tok[1]!r}")
+        self.expect(",")
+        hi_tok = self.next()
+        if hi_tok[1] == "end":
+            hi: Optional[float] = None
+        elif hi_tok[0] == "number":
+            hi = float(hi_tok[1])
+        else:
+            raise ParseError(f"expected window upper bound, got {hi_tok[1]!r}")
+        self.expect("]")
+        return float(lo_tok[1]), hi
+
+    def atom(self) -> Formula:
+        token = self.next()
+        if token[1] == "(":
+            inner = self.formula()
+            self.expect(")")
+            return inner
+        if token[0] == "ident":
+            name = token[1]
+            if name == "true":
+                return Atomic(True)
+            if name == "false":
+                return Atomic(False)
+            nxt = self.peek()
+            if nxt is not None and nxt[1] in ("<", "<=", ">", ">=", "==", "!="):
+                op = self.next()[1]
+                rhs = self.next()
+                if rhs[0] == "number":
+                    return Predicate(name, op, float(rhs[1]))
+                if rhs[0] == "ident" and rhs[1] not in _KEYWORDS:
+                    return Predicate(name, op, Param(rhs[1], self.params.get(rhs[1])))
+                raise ParseError(f"bad comparison right-hand side {rhs[1]!r}")
+            return Signal(name)
+        raise ParseError(f"unexpected token {token[1]!r}")
+
+
+def parse(text: str, params: Optional[Dict[str, float]] = None) -> Formula:
+    """Parse *text* into a :class:`~repro.stl.ast.Formula`.
+
+    Parameters
+    ----------
+    text:
+        The formula source.
+    params:
+        Optional defaults for learnable parameters appearing as bare
+        identifiers on the right-hand side of comparisons.
+    """
+    parser = _Parser(_tokenize(text), params)
+    formula = parser.formula()
+    if parser.peek() is not None:
+        raise ParseError(f"trailing input starting at {parser.peek()[1]!r}")
+    return formula

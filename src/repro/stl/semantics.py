@@ -1,0 +1,250 @@
+"""Boolean and quantitative (robustness) semantics for discrete-time STL.
+
+Both semantics are *pointwise*: evaluating a formula over a
+:class:`~repro.stl.signals.Trace` yields one value per sample index, where
+index ``t`` answers "does the formula hold at time ``t``?".  The conventional
+trace-level verdict is the value at index 0.
+
+Temporal windows are expressed in minutes and converted to whole sample steps
+using the trace's ``dt``.  At the right edge of a trace we use *weak*
+(truncated-window) semantics, standard for offline monitoring of finite
+traces: ``G`` reduces over however many samples remain (vacuously true on an
+empty window), ``F``/``U`` are false on an empty window.
+
+Robustness follows the usual min/max quantitative semantics; the learning
+machinery of :mod:`repro.core.learning` consumes per-predicate robustness
+values ``r = mu(x_t) - beta`` exactly as in Eq. 3 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .ast import (
+    And,
+    Atomic,
+    Eventually,
+    Formula,
+    Globally,
+    Implies,
+    Not,
+    Or,
+    Predicate,
+    Since,
+    Until,
+)
+from .signals import Trace
+
+__all__ = ["satisfaction", "robustness", "satisfied", "trace_robustness"]
+
+Env = Optional[Dict[str, float]]
+
+#: robustness value used for boolean constants (finite so min/max stay finite)
+TOP = Predicate.DISCRETE_ROBUSTNESS
+
+
+def satisfaction(formula: Formula, trace: Trace, env: Env = None) -> np.ndarray:
+    """Pointwise boolean satisfaction of *formula* over *trace*.
+
+    Returns a boolean array of ``len(trace)`` entries.
+    """
+    return _eval(formula, trace, env, quantitative=False)
+
+
+def robustness(formula: Formula, trace: Trace, env: Env = None) -> np.ndarray:
+    """Pointwise quantitative robustness of *formula* over *trace*."""
+    return _eval(formula, trace, env, quantitative=True)
+
+
+def satisfied(formula: Formula, trace: Trace, env: Env = None) -> bool:
+    """Trace-level verdict: satisfaction at the first sample."""
+    return bool(satisfaction(formula, trace, env)[0])
+
+
+def trace_robustness(formula: Formula, trace: Trace, env: Env = None) -> float:
+    """Trace-level robustness: robustness at the first sample."""
+    return float(robustness(formula, trace, env)[0])
+
+
+# ----------------------------------------------------------------------
+# evaluation core
+# ----------------------------------------------------------------------
+
+def _eval(node: Formula, trace: Trace, env: Env, quantitative: bool) -> np.ndarray:
+    if isinstance(node, Atomic):
+        n = len(trace)
+        if quantitative:
+            return np.full(n, TOP if node.value else -TOP)
+        return np.full(n, node.value, dtype=bool)
+
+    if isinstance(node, Predicate):
+        return _eval_predicate(node, trace, env, quantitative)
+
+    if isinstance(node, Not):
+        inner = _eval(node.child, trace, env, quantitative)
+        return -inner if quantitative else ~inner
+
+    if isinstance(node, And):
+        parts = [_eval(c, trace, env, quantitative) for c in node.children]
+        if quantitative:
+            return np.minimum.reduce(parts)
+        return np.logical_and.reduce(parts)
+
+    if isinstance(node, Or):
+        parts = [_eval(c, trace, env, quantitative) for c in node.children]
+        if quantitative:
+            return np.maximum.reduce(parts)
+        return np.logical_or.reduce(parts)
+
+    if isinstance(node, Implies):
+        left = _eval(node.antecedent, trace, env, quantitative)
+        right = _eval(node.consequent, trace, env, quantitative)
+        if quantitative:
+            return np.maximum(-left, right)
+        return np.logical_or(~left, right)
+
+    if isinstance(node, Globally):
+        inner = _eval(node.child, trace, env, quantitative)
+        return _future_reduce(inner, trace, node.lo, node.hi,
+                              use_min=True, quantitative=quantitative)
+
+    if isinstance(node, Eventually):
+        inner = _eval(node.child, trace, env, quantitative)
+        return _future_reduce(inner, trace, node.lo, node.hi,
+                              use_min=False, quantitative=quantitative)
+
+    if isinstance(node, Until):
+        left = _eval(node.left, trace, env, quantitative)
+        right = _eval(node.right, trace, env, quantitative)
+        return _until(left, right, trace, node.lo, node.hi, quantitative)
+
+    if isinstance(node, Since):
+        left = _eval(node.left, trace, env, quantitative)
+        right = _eval(node.right, trace, env, quantitative)
+        return _since(left, right, trace, node.lo, node.hi, quantitative)
+
+    raise TypeError(f"cannot evaluate STL node of type {type(node).__name__}")
+
+
+def _eval_predicate(node: Predicate, trace: Trace, env: Env,
+                    quantitative: bool) -> np.ndarray:
+    values = trace.channel(node.channel)
+    threshold = node.resolve_threshold(env)
+    if node.op in ("==", "!="):
+        equal = np.isclose(values, threshold)
+        truth = equal if node.op == "==" else ~equal
+        if quantitative:
+            return np.where(truth, TOP, -TOP)
+        return truth
+    margin = {
+        ">": values - threshold,
+        ">=": values - threshold,
+        "<": threshold - values,
+        "<=": threshold - values,
+    }[node.op]
+    if quantitative:
+        return margin.astype(float)
+    if node.op == ">":
+        return values > threshold
+    if node.op == ">=":
+        return values >= threshold
+    if node.op == "<":
+        return values < threshold
+    return values <= threshold
+
+
+def _steps(trace: Trace, minutes: float) -> int:
+    return trace.steps(minutes)
+
+
+def _future_reduce(inner: np.ndarray, trace: Trace, lo: float, hi: Optional[float],
+                   use_min: bool, quantitative: bool) -> np.ndarray:
+    """Reduce ``inner`` over the future window ``[t+lo, t+hi]`` for every t."""
+    n = len(inner)
+    lo_s = _steps(trace, lo)
+    hi_s = n - 1 if hi is None else _steps(trace, hi)
+    if quantitative:
+        empty = -TOP if not use_min else TOP
+        out = np.full(n, float(empty))
+    else:
+        out = np.full(n, use_min, dtype=bool)  # empty G window: vacuously true
+    reduce_fn = np.min if use_min else np.max
+    bool_fn = np.all if use_min else np.any
+    for t in range(n):
+        start = t + lo_s
+        stop = min(t + hi_s, n - 1)
+        if start > stop:
+            continue
+        window = inner[start:stop + 1]
+        out[t] = reduce_fn(window) if quantitative else bool_fn(window)
+    return out
+
+
+def _until(left: np.ndarray, right: np.ndarray, trace: Trace, lo: float,
+           hi: Optional[float], quantitative: bool) -> np.ndarray:
+    """``left U[lo,hi] right``: right holds at some t' in the window and left
+    holds at every sample in ``[t, t')``."""
+    n = len(left)
+    lo_s = _steps(trace, lo)
+    hi_s = n - 1 if hi is None else _steps(trace, hi)
+    if quantitative:
+        out = np.full(n, -TOP)
+        for t in range(n):
+            best = -TOP
+            prefix = TOP
+            for tp in range(t, min(t + hi_s, n - 1) + 1):
+                if tp >= t + lo_s:
+                    best = max(best, min(right[tp], prefix))
+                prefix = min(prefix, left[tp])
+            out[t] = best
+        return out
+    out = np.zeros(n, dtype=bool)
+    for t in range(n):
+        prefix = True
+        for tp in range(t, min(t + hi_s, n - 1) + 1):
+            if tp >= t + lo_s and right[tp] and prefix:
+                out[t] = True
+                break
+            prefix = prefix and left[tp]
+            if not prefix and tp >= t + lo_s:
+                break
+    return out
+
+
+def _since(left: np.ndarray, right: np.ndarray, trace: Trace, lo: float,
+           hi: Optional[float], quantitative: bool) -> np.ndarray:
+    """``left S[lo,hi] right``: right held at some past t' in ``[t-hi, t-lo]``
+    and left has held at every sample in ``(t', t]``."""
+    n = len(left)
+    lo_s = _steps(trace, lo)
+    hi_s = n - 1 if hi is None else _steps(trace, hi)
+    if quantitative:
+        out = np.full(n, -TOP)
+        for t in range(n):
+            best = -TOP
+            suffix = TOP  # min of left over (t', t]
+            for tp in range(t, -1, -1):
+                age = t - tp
+                if age > hi_s:
+                    break
+                if age >= lo_s:
+                    best = max(best, min(right[tp], suffix))
+                suffix = min(suffix, left[tp])
+            out[t] = best
+        return out
+    out = np.zeros(n, dtype=bool)
+    for t in range(n):
+        suffix = True
+        for tp in range(t, -1, -1):
+            age = t - tp
+            if age > hi_s:
+                break
+            if age >= lo_s and right[tp] and suffix:
+                out[t] = True
+                break
+            suffix = suffix and left[tp]
+            if not suffix and age >= lo_s:
+                break
+    return out

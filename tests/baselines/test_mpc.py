@@ -1,0 +1,72 @@
+"""Tests for the MPC (Bergman & Sherwin) baseline monitor."""
+
+import pytest
+
+from repro.baselines import MPCMonitor
+from repro.controllers import ControlAction
+from repro.core import ContextVector
+from repro.hazards import HazardType
+
+
+def ctx(bg=120.0, rate=1.5, bolus=0.0):
+    return ContextVector(t=0.0, bg=bg, bg_rate=0.0, iob=0.0, iob_rate=0.0,
+                         rate=rate, bolus=bolus, action=ControlAction.KEEP)
+
+
+class TestPrediction:
+    def test_silent_at_steady_state(self):
+        monitor = MPCMonitor()
+        verdict = monitor.observe(ctx(bg=120.0))
+        assert not verdict.alert
+
+    def test_massive_overdose_predicts_h1(self):
+        monitor = MPCMonitor(horizon_steps=24)
+        monitor.observe(ctx(bg=110.0))
+        verdict = None
+        for _ in range(12):
+            verdict = monitor.observe(ctx(bg=110.0, rate=10.0, bolus=5.0))
+        assert verdict.alert
+        assert verdict.hazard == HazardType.H1
+
+    def test_high_bg_with_no_insulin_predicts_h2(self):
+        monitor = MPCMonitor(horizon_steps=24)
+        verdict = monitor.observe(ctx(bg=175.0, rate=0.0))
+        assert verdict.alert
+        assert verdict.hazard == HazardType.H2
+
+    def test_reset_clears_state(self):
+        monitor = MPCMonitor()
+        for _ in range(5):
+            monitor.observe(ctx(bg=120.0, rate=10.0))
+        monitor.reset()
+        assert monitor._ieff is None
+
+    def test_population_model_not_patient_specific(self):
+        """Same verdicts regardless of which patient produced the context."""
+        m1, m2 = MPCMonitor(), MPCMonitor()
+        v1 = m1.observe(ctx(bg=150.0))
+        v2 = m2.observe(ctx(bg=150.0))
+        assert v1.alert == v2.alert
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MPCMonitor(horizon_steps=0)
+        with pytest.raises(ValueError):
+            MPCMonitor(bg_low=200, bg_high=100)
+
+
+class TestClosedLoop:
+    def test_detects_rate_attack_in_simulation(self):
+        from repro.fi import FaultInjector, FaultKind, FaultSpec, FaultTarget
+        from repro.simulation import make_loop, Scenario
+        loop = make_loop("glucosym", "B", monitor=MPCMonitor(horizon_steps=24))
+        loop.injector = FaultInjector(
+            FaultSpec(FaultKind.MAX, FaultTarget.RATE, 20, 24))
+        trace = loop.run(Scenario(init_glucose=120.0))
+        assert trace.alert.any()
+
+    def test_mostly_silent_fault_free(self):
+        from repro.simulation import make_loop, Scenario
+        loop = make_loop("glucosym", "B", monitor=MPCMonitor(horizon_steps=24))
+        trace = loop.run(Scenario(init_glucose=120.0))
+        assert trace.alert.mean() < 0.2

@@ -1,0 +1,80 @@
+"""Tests for the Basal-Bolus controller."""
+
+import pytest
+
+from repro.controllers import BasalBolusController, ControlAction
+
+
+def make_controller(**kwargs):
+    defaults = dict(basal=1.0, isf=50.0, target=120.0)
+    defaults.update(kwargs)
+    return BasalBolusController(**defaults)
+
+
+class TestDecisions:
+    def test_normal_range_keeps_basal(self):
+        decision = make_controller().decide(120.0, 0.0)
+        assert decision.action == ControlAction.KEEP
+        assert decision.basal == 1.0
+        assert decision.bolus == 0.0
+
+    def test_high_glucose_correction_bolus(self):
+        decision = make_controller().decide(220.0, 0.0)
+        assert decision.action == ControlAction.INCREASE
+        assert decision.bolus == pytest.approx((220 - 120) / 50.0)
+
+    def test_bolus_discounts_iob(self):
+        c = make_controller()
+        c.notify_delivery(0.0, 1.0, 0.0, 5.0)
+        decision = c.decide(220.0, 5.0)
+        assert decision.bolus < (220 - 120) / 50.0
+
+    def test_bolus_capped(self):
+        decision = make_controller(max_bolus=2.0).decide(500.0, 0.0)
+        assert decision.bolus == 2.0
+
+    def test_refractory_period(self):
+        c = make_controller(correction_interval=60.0)
+        first = c.decide(220.0, 0.0)
+        assert first.bolus > 0
+        second = c.decide(220.0, 30.0)
+        assert second.bolus == 0.0
+        third = c.decide(220.0, 60.0)
+        assert third.bolus > 0
+
+    def test_low_glucose_reduces_basal(self):
+        decision = make_controller().decide(90.0, 0.0)
+        assert decision.action == ControlAction.DECREASE
+        assert decision.basal == pytest.approx(0.5)
+
+    def test_very_low_glucose_suspends(self):
+        decision = make_controller().decide(60.0, 0.0)
+        assert decision.action == ControlAction.STOP
+        assert decision.basal == 0.0
+
+    def test_no_negative_bolus(self):
+        c = make_controller()
+        c.notify_delivery(0.0, 5.0, 0.0, 5.0)  # lots of IOB
+        decision = c.decide(160.0, 5.0)
+        assert decision.bolus == 0.0
+
+
+class TestValidation:
+    def test_threshold_ordering_enforced(self):
+        with pytest.raises(ValueError, match="thresholds"):
+            BasalBolusController(basal=1.0, suspend_threshold=100.0,
+                                 reduce_threshold=90.0)
+
+    def test_invalid_isf(self):
+        with pytest.raises(ValueError):
+            BasalBolusController(basal=1.0, isf=-1.0)
+
+    def test_invalid_reading(self):
+        with pytest.raises(ValueError):
+            make_controller().decide(-5.0, 0.0)
+
+    def test_reset_clears_refractory(self):
+        c = make_controller()
+        c.decide(220.0, 0.0)
+        c.reset()
+        assert c.decide(220.0, 5.0).bolus > 0

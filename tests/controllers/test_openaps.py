@@ -1,0 +1,119 @@
+"""Tests for the OpenAPS (oref0 determine-basal) controller port."""
+
+import pytest
+
+from repro.controllers import ControlAction, OpenAPSController
+
+
+def make_controller(**kwargs):
+    defaults = dict(basal=1.5, isf=50.0, target=120.0, max_iob=6.0)
+    defaults.update(kwargs)
+    return OpenAPSController(**defaults)
+
+
+def run_cycles(controller, readings, dt=5.0):
+    """Feed readings; deliver exactly what the controller asks."""
+    decisions = []
+    for i, bg in enumerate(readings):
+        t = i * dt
+        decision = controller.decide(bg, t)
+        controller.notify_delivery(decision.basal, decision.bolus, t, dt)
+        decisions.append(decision)
+    return decisions
+
+
+class TestDecisions:
+    def test_at_target_keeps_basal(self):
+        c = make_controller()
+        decision = c.decide(120.0, 0.0)
+        assert decision.action == ControlAction.KEEP
+        assert decision.basal == pytest.approx(1.5)
+
+    def test_high_glucose_high_temp(self):
+        c = make_controller()
+        decision = c.decide(250.0, 0.0)
+        assert decision.action == ControlAction.INCREASE
+        assert decision.basal > 1.5
+
+    def test_low_glucose_suspend(self):
+        c = make_controller()
+        decision = c.decide(60.0, 0.0)
+        assert decision.action == ControlAction.STOP
+        assert decision.basal == 0.0
+
+    def test_moderately_low_glucose_low_temp(self):
+        c = make_controller()
+        decision = c.decide(100.0, 0.0)
+        assert decision.basal < 1.5
+        assert decision.action in (ControlAction.DECREASE, ControlAction.STOP)
+
+    def test_rate_capped_at_max_basal(self):
+        c = make_controller(max_basal=3.0)
+        decision = c.decide(400.0, 0.0)
+        assert decision.basal <= 3.0
+
+    def test_max_iob_blocks_high_temp(self):
+        c = make_controller(max_iob=1.0)
+        # accumulate IOB well past the cap
+        for i in range(12):
+            c.notify_delivery(6.0, 0.0, 5.0 * i, 5.0)
+        decision = c.decide(250.0, 60.0)
+        # insulin_req is clipped to zero -> no more than scheduled basal
+        assert decision.basal <= 1.5 + 0.01
+
+    def test_invalid_reading_rejected(self):
+        with pytest.raises(ValueError):
+            make_controller().decide(0.0, 0.0)
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ValueError):
+            OpenAPSController(basal=1.0, isf=0.0)
+        with pytest.raises(ValueError):
+            OpenAPSController(basal=1.0, target=-10)
+        with pytest.raises(ValueError):
+            OpenAPSController(basal=-1.0)
+
+
+class TestProjection:
+    def test_eventual_bg_reported(self):
+        c = make_controller()
+        decision = c.decide(180.0, 0.0)
+        assert "eventual_bg" in decision.info
+        # no IOB, no history: eventualBG == BG
+        assert decision.info["eventual_bg"] == pytest.approx(180.0)
+
+    def test_iob_discounts_eventual_bg(self):
+        c = make_controller()
+        c.notify_delivery(0.0, 2.0, 0.0, 5.0)  # 2 U bolus
+        decision = c.decide(180.0, 5.0)
+        assert decision.iob > 1.5
+        assert decision.info["eventual_bg"] < 120.0  # 2 U * 50 = 100 mg/dL drop
+
+    def test_rising_glucose_raises_deviation(self):
+        c = make_controller()
+        run_cycles(c, [120.0, 130.0])
+        decision = c.decide(140.0, 10.0)
+        assert decision.info["deviation"] > 0
+
+    def test_iob_rate_sign_tracks_delivery(self):
+        c = make_controller()
+        decisions = run_cycles(c, [250.0] * 6)
+        # sustained high temp -> IOB rising
+        assert decisions[-1].iob_rate > 0
+
+    def test_closed_loop_drives_high_bg_down(self):
+        """With a cooperative plant, sustained hyper produces net insulin."""
+        c = make_controller()
+        decisions = run_cycles(c, [250.0] * 24)
+        total_extra = sum(d.basal - 1.5 for d in decisions)
+        assert total_extra > 3.0
+
+
+class TestReset:
+    def test_reset_clears_history(self):
+        c = make_controller()
+        run_cycles(c, [250.0] * 6)
+        c.reset()
+        decision = c.decide(120.0, 0.0)
+        assert decision.iob == 0.0
+        assert decision.info["delta"] == 0.0

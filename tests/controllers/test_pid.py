@@ -1,0 +1,59 @@
+"""Tests for the PID extension controller."""
+
+import pytest
+
+from repro.controllers import ControlAction, PIDController
+
+
+def make_controller(**kwargs):
+    defaults = dict(basal=1.0, target=120.0)
+    defaults.update(kwargs)
+    return PIDController(**defaults)
+
+
+class TestPID:
+    def test_at_target_keeps_basal(self):
+        decision = make_controller().decide(120.0, 0.0)
+        assert decision.action == ControlAction.KEEP
+
+    def test_proportional_response(self):
+        decision = make_controller(kp=0.02).decide(220.0, 0.0)
+        assert decision.basal == pytest.approx(1.0 + 0.02 * 100, abs=0.2)
+
+    def test_low_glucose_suspend(self):
+        decision = make_controller().decide(60.0, 0.0)
+        assert decision.basal == 0.0
+        assert decision.action == ControlAction.STOP
+
+    def test_output_clamped(self):
+        decision = make_controller(max_basal=2.0).decide(400.0, 0.0)
+        assert decision.basal <= 2.0
+
+    def test_integral_accumulates(self):
+        c = make_controller()
+        first = c.decide(200.0, 0.0)
+        c.notify_delivery(first.basal, 0.0, 0.0, 5.0)
+        second = c.decide(200.0, 5.0)
+        assert second.info["integral"] > first.info["integral"]
+
+    def test_integral_windup_limited(self):
+        c = make_controller(integral_limit=100.0)
+        for i in range(50):
+            c.decide(300.0, 5.0 * i)
+        assert c._integral <= 100.0
+
+    def test_derivative_damps_fall(self):
+        c = make_controller(kp=0.0, ki=0.0, kd=0.5)
+        c.decide(150.0, 0.0)
+        decision = c.decide(130.0, 5.0)  # falling fast
+        assert decision.basal < 1.0
+
+    def test_reset(self):
+        c = make_controller()
+        c.decide(300.0, 0.0)
+        c.reset()
+        assert c._integral == 0.0
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            PIDController(basal=1.0, target=0.0)

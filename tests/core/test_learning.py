@@ -1,0 +1,165 @@
+"""Tests for loss functions and STL threshold learning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    LOSSES,
+    learn_thresholds,
+    mae_loss,
+    mine_rule_samples,
+    mse_loss,
+    telex_loss,
+    tmee_loss,
+)
+from repro.core.learning import ROBUSTNESS_SCALES, RuleSamples, _fit_one
+from repro.core.rules import aps_rules
+
+
+RULES = {rule.index: rule for rule in aps_rules()}
+
+
+class TestLossShapes:
+    """The Fig. 3 properties of the four loss functions."""
+
+    def test_tmee_minimum_near_small_positive_slack(self):
+        r = np.linspace(-2, 4, 6001)
+        values, _ = tmee_loss(r)
+        r_min = r[np.argmin(values)]
+        assert 0.2 < r_min < 0.8
+
+    def test_tmee_penalizes_violations_exponentially(self):
+        v_neg2, _ = tmee_loss(np.array([-2.0]))
+        v_neg1, _ = tmee_loss(np.array([-1.0]))
+        assert v_neg2[0] > 2.0 * v_neg1[0]
+
+    def test_tmee_linear_growth_for_loose_thresholds(self):
+        v10, _ = tmee_loss(np.array([10.0]))
+        v20, _ = tmee_loss(np.array([20.0]))
+        assert v20[0] - v10[0] == pytest.approx(10.0, rel=0.01)
+
+    def test_telex_minimum_looser_than_tmee(self):
+        r = np.linspace(-2, 6, 8001)
+        tmee_min = r[np.argmin(tmee_loss(r)[0])]
+        telex_min = r[np.argmin(telex_loss(r)[0])]
+        assert telex_min > tmee_min + 1.0
+
+    def test_mse_mae_symmetric_minimum_at_zero(self):
+        r = np.linspace(-3, 3, 601)
+        assert abs(r[np.argmin(mse_loss(r)[0])]) < 0.02
+        assert abs(r[np.argmin(mae_loss(r)[0])]) < 0.02
+
+    def test_mse_mae_do_not_distinguish_violation_sign(self):
+        v_pos, _ = mse_loss(np.array([1.5]))
+        v_neg, _ = mse_loss(np.array([-1.5]))
+        assert v_pos[0] == v_neg[0]
+
+    @pytest.mark.parametrize("name", sorted(LOSSES))
+    def test_gradients_match_finite_differences(self, name):
+        loss = LOSSES[name]
+        r = np.array([-2.0, -0.5, 0.3, 1.7, 5.0])
+        _, grad = loss(r)
+        h = 1e-6
+        numeric = (loss(r + h)[0] - loss(r - h)[0]) / (2 * h)
+        np.testing.assert_allclose(grad, numeric, rtol=1e-4, atol=1e-6)
+
+    @given(st.floats(min_value=-20, max_value=20))
+    @settings(max_examples=100, deadline=None)
+    def test_tmee_nonnegative_everywhere(self, r):
+        value, _ = tmee_loss(np.array([r]))
+        assert value[0] > -0.51  # bounded below (min of -1/(1+e^-2r) term)
+
+
+class TestFitOne:
+    def _samples(self, rule_index, values, safe=()):
+        return RuleSamples(rule=RULES[rule_index],
+                           values=np.asarray(values, dtype=float),
+                           safe_values=np.asarray(safe, dtype=float))
+
+    def test_empty_samples_keep_default(self):
+        fit = _fit_one(self._samples(1, []), "tmee", True)
+        assert fit.used_default
+        assert fit.value == RULES[1].default
+
+    def test_lt_rule_threshold_covers_all_samples(self):
+        """Rule 1 is 'IOB < beta': coverage needs beta >= max(samples)."""
+        fit = _fit_one(self._samples(1, [0.5, 1.2, 0.9]), "tmee", True)
+        assert fit.value >= 1.2
+        assert fit.violations == 0
+
+    def test_lt_rule_threshold_is_tight(self):
+        fit = _fit_one(self._samples(1, [0.5, 1.2, 0.9]), "tmee", True)
+        scale = ROBUSTNESS_SCALES["IOB"]
+        assert fit.value <= 1.2 + 2.0 * scale  # tight: small margin only
+
+    def test_gt_rule_threshold_covers_all_samples(self):
+        """Rule 6 is 'IOB > beta': coverage needs beta <= min(samples)."""
+        fit = _fit_one(self._samples(6, [2.5, 3.8, 4.4]), "tmee", True)
+        assert fit.value <= 2.5
+        assert fit.value >= 2.5 - 2.0 * ROBUSTNESS_SCALES["IOB"]
+        assert fit.violations == 0
+
+    def test_bg_rule_uses_bg_scale(self):
+        fit = _fit_one(self._samples(10, [55.0, 68.0, 62.0]), "tmee", True)
+        assert 68.0 <= fit.value <= 68.0 + 2.0 * ROBUSTNESS_SCALES["BG"]
+
+    def test_unconstrained_mse_lands_mid_data_and_violates(self):
+        fit = _fit_one(self._samples(1, [0.0, 2.0]), "mse", False)
+        assert 0.5 < fit.value < 1.5  # near the mean
+        assert fit.violations >= 1    # the upper sample is not covered
+
+    def test_tmee_tighter_than_telex(self):
+        data = [0.5, 1.2, 0.9]
+        tight = _fit_one(self._samples(1, data), "tmee", True)
+        loose = _fit_one(self._samples(1, data), "telex", True)
+        assert tight.value < loose.value
+
+    def test_converges(self):
+        fit = _fit_one(self._samples(1, np.random.default_rng(0).uniform(0, 3, 100)),
+                       "tmee", True)
+        assert fit.converged
+
+
+class TestLearnFromTraces:
+    @pytest.fixture(scope="class")
+    def hazardous_traces(self):
+        from repro.fi import CampaignConfig, generate_campaign
+        from repro.simulation import run_campaign
+        config = CampaignConfig(init_glucose_values=(120.0, 200.0),
+                                timing_choices=((0, 24), (40, 30)))
+        return run_campaign("glucosym", ["B"], generate_campaign(config))
+
+    def test_unknown_loss_rejected(self, hazardous_traces):
+        with pytest.raises(KeyError, match="unknown loss"):
+            learn_thresholds(hazardous_traces, loss="nope")
+
+    def test_learned_result_structure(self, hazardous_traces):
+        result = learn_thresholds(hazardous_traces)
+        assert len(result.fits) == 12
+        assert set(result.thresholds) == {r.param for r in aps_rules()}
+
+    def test_some_rules_learned_from_campaign(self, hazardous_traces):
+        result = learn_thresholds(hazardous_traces)
+        assert len(result.learned_params) >= 1
+
+    def test_no_training_violations_with_coverage(self, hazardous_traces):
+        result = learn_thresholds(hazardous_traces, enforce_coverage=True)
+        assert all(f.violations == 0 for f in result.fits)
+
+    def test_mining_window_restricts_samples(self, hazardous_traces):
+        narrow = mine_rule_samples(hazardous_traces, window=6)
+        wide = mine_rule_samples(hazardous_traces, window=None)
+        for n, w in zip(narrow, wide):
+            assert n.count <= w.count
+
+    def test_safe_traces_contribute_nothing(self):
+        from repro.simulation import run_fault_free
+        traces = run_fault_free("glucosym", ["B"], (120.0,), n_steps=60)
+        samples = mine_rule_samples(traces)
+        assert all(s.count == 0 for s in samples)
+
+    def test_invalid_window(self, hazardous_traces):
+        with pytest.raises(ValueError, match="window"):
+            mine_rule_samples(hazardous_traces, window=0)

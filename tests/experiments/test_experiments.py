@@ -1,0 +1,176 @@
+"""Smoke tests for every experiment module (tiny scale, shared cache)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    PRESETS,
+    clear_cache,
+    loss_curves,
+    platform_data,
+    run_adversarial_ablation,
+    run_fault_free_generalisation,
+    run_fig3,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_multiclass_ablation,
+    run_overhead,
+    run_table5,
+    run_table6,
+    run_table7,
+    run_table8,
+)
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return ExperimentConfig.preset("smoke")
+
+
+class TestConfig:
+    def test_presets_exist(self):
+        assert set(PRESETS) == {"smoke", "small", "medium", "full"}
+
+    def test_full_preset_matches_paper_scale(self):
+        full = ExperimentConfig.preset("full")
+        assert full.scenarios_per_patient == 882
+        assert len(full.patients) == 10
+        assert full.folds == 4
+
+    def test_preset_for_t1d(self):
+        cfg = ExperimentConfig.preset("smoke", platform="t1ds2013")
+        assert cfg.platform == "t1ds2013"
+        assert all(p.startswith("P") for p in cfg.patients)
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            ExperimentConfig.preset("nope")
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(stride=0)
+
+
+class TestData:
+    def test_platform_data_cached(self, cfg):
+        first = platform_data(cfg)
+        second = platform_data(cfg)
+        assert first is second
+
+    def test_trace_partitions(self, cfg):
+        data = platform_data(cfg)
+        assert sum(len(v) for v in data.by_patient.values()) == len(data.traces)
+        assert set(data.by_patient) == set(cfg.patients)
+
+    def test_fault_free_has_seven_initials(self, cfg):
+        data = platform_data(cfg)
+        assert len(data.fault_free) == 7 * len(cfg.patients)
+
+
+class TestFig3:
+    def test_rows_cover_all_losses(self):
+        result = run_fig3()
+        assert {row[0] for row in result.rows} == {"mse", "mae", "telex", "tmee"}
+
+    def test_tmee_argmin_tight_positive(self):
+        rows = run_fig3().row_dict()
+        assert 0.2 < rows["tmee"][1] < 0.8
+        assert rows["telex"][1] > rows["tmee"][1]
+        assert abs(rows["mse"][1]) < 0.1
+
+    def test_loss_curves_shapes(self):
+        r, curves = loss_curves()
+        assert len(curves) == 4
+        assert all(len(v) == len(r) for v in curves.values())
+
+
+class TestResilience:
+    def test_fig7_rows(self, cfg):
+        result = run_fig7(cfg)
+        ids = [row[0] for row in result.rows]
+        assert ids[-1] == "ALL"
+        coverage = result.rows[-1][2]
+        assert 0.0 <= coverage <= 1.0
+
+    def test_fig8_coverage_bounds(self, cfg):
+        result = run_fig8(cfg)
+        for row in result.rows:
+            for cell in row[1:]:
+                if isinstance(cell, float) and cell == cell:
+                    assert 0.0 <= cell <= 1.0
+
+    def test_fig8_max_faults_most_damaging(self, cfg):
+        """The paper's headline Fig. 8 observation."""
+        rows = run_fig8(cfg).row_dict()
+        max_cov = max(rows[k][-1] for k in rows if k.startswith("max_"))
+        other = [rows[k][-1] for k in rows if not k.startswith("max_")]
+        assert max_cov >= max(other)
+
+
+class TestMonitorTables:
+    def test_table5_monitors_present(self, cfg):
+        rows = run_table5(cfg).row_dict()
+        assert set(rows) == {"CAWT", "CAWOT", "Guideline", "MPC"}
+
+    def test_table5_metrics_in_range(self, cfg):
+        for row in run_table5(cfg).rows:
+            _, n_sim, hazard_pct, fpr, fnr, acc, f1 = row
+            assert 0 <= fpr <= 1 and 0 <= fnr <= 1
+            assert 0 <= acc <= 1 and 0 <= f1 <= 1
+
+    def test_table6_has_sample_and_sim_levels(self, cfg):
+        result = run_table6(cfg)
+        assert set(result.row_dict()) == {"CAWT", "DT", "MLP", "LSTM"}
+        assert len(result.rows[0]) == 9
+
+    def test_cawt_low_fpr(self, cfg):
+        """The learned monitor's FPR must be small even at smoke scale."""
+        rows = run_table6(cfg).row_dict()
+        assert rows["CAWT"][1] < 0.05
+
+    def test_fig9_reaction_rows(self, cfg):
+        result = run_fig9(cfg)
+        names = set(result.row_dict())
+        assert {"CAWT", "CAWOT", "Guideline", "MPC", "DT", "MLP",
+                "LSTM"} == names
+
+    def test_table8_has_both_threshold_kinds(self, cfg):
+        result = run_table8(cfg)
+        kinds = {row[1] for row in result.rows}
+        assert "patient-specific" in kinds  # population needs >1 patient
+
+    def test_table7_outcomes(self, cfg):
+        result = run_table7(cfg)
+        rows = result.row_dict()
+        assert set(rows) == {"CAWT", "DT", "MLP", "MPC"}
+        for row in result.rows:
+            assert row[2] >= 0  # new hazards
+            assert row[3] >= 0  # avg risk
+
+
+class TestDiscussion:
+    def test_adversarial_beats_fault_free(self, cfg):
+        rows = {row[0]: row for row in run_adversarial_ablation(cfg).rows}
+        assert rows["adversarial"][4] >= rows["fault-free"][4]  # F1
+
+    def test_multiclass_rows(self, cfg):
+        result = run_multiclass_ablation(cfg)
+        assert len(result.rows) == 6  # 3 monitors x 2 heads
+
+    def test_fault_free_generalisation(self, cfg):
+        result = run_fault_free_generalisation(cfg)
+        rows = result.row_dict()
+        assert "CAWT" in rows
+        for row in result.rows:
+            assert 0.0 <= row[1] <= 1.0
+
+    def test_overhead_positive(self, cfg):
+        result = run_overhead(cfg)
+        for row in result.rows:
+            assert row[1] > 0
+
+    def test_result_text_renders(self, cfg):
+        text = run_table5(cfg).text()
+        assert "Table V" in text and "paper" in text

@@ -1,0 +1,89 @@
+"""Tests for campaign generation (Section V-B grid)."""
+
+import pytest
+
+from repro.fi import (
+    CampaignConfig,
+    FaultKind,
+    FaultTarget,
+    INITIAL_GLUCOSE_VALUES,
+    TIMING_CHOICES,
+    generate_campaign,
+)
+
+
+class TestFullGrid:
+    def test_paper_scale_is_882_per_patient(self):
+        """7 kinds x 2 targets x 9 timings x 7 initial BGs = 882 (Section V-B)."""
+        assert len(generate_campaign()) == 882
+
+    def test_seven_initial_glucose_values_in_range(self):
+        assert len(INITIAL_GLUCOSE_VALUES) == 7
+        assert all(80 <= bg <= 200 for bg in INITIAL_GLUCOSE_VALUES)
+
+    def test_nine_timing_choices(self):
+        assert len(TIMING_CHOICES) == 9
+
+    def test_timings_fit_150_step_simulation(self):
+        for start, duration in TIMING_CHOICES:
+            assert 0 <= start and start + duration <= 150
+
+    def test_all_kinds_and_targets_present(self):
+        campaign = generate_campaign()
+        kinds = {s.fault.kind for s in campaign}
+        targets = {s.fault.target for s in campaign}
+        assert kinds == set(FaultKind) - {FaultKind.MIN} | {FaultKind.MIN}
+        # input, output and internal-state targets are all exercised
+        assert targets == {FaultTarget.GLUCOSE, FaultTarget.RATE,
+                           FaultTarget.IOB}
+
+    def test_deterministic(self):
+        first = generate_campaign()
+        second = generate_campaign()
+        assert [s.label for s in first] == [s.label for s in second]
+
+    def test_offsets_assigned_per_target(self):
+        campaign = generate_campaign()
+        adds = [s for s in campaign if s.fault.kind is FaultKind.ADD]
+        glucose_values = {s.fault.value for s in adds
+                          if s.fault.target is FaultTarget.GLUCOSE}
+        rate_values = {s.fault.value for s in adds
+                       if s.fault.target is FaultTarget.RATE}
+        assert glucose_values == {100.0}
+        assert rate_values == {3.0}
+
+    def test_scale_faults_are_dec_style(self):
+        campaign = generate_campaign()
+        scales = [s for s in campaign if s.fault.kind is FaultKind.SCALE]
+        assert all(s.fault.value == 0.5 for s in scales)
+        assert all(s.label.startswith("dec_") for s in scales)
+
+
+class TestScaling:
+    def test_stride_subsamples(self):
+        small = generate_campaign(CampaignConfig(stride=7))
+        assert len(small) == 126
+
+    def test_stride_preserves_variety(self):
+        small = generate_campaign(CampaignConfig(stride=7))
+        kinds = {s.fault.kind for s in small}
+        assert len(kinds) >= 5
+
+    def test_custom_grids(self):
+        config = CampaignConfig(init_glucose_values=(120.0,),
+                                timing_choices=((10, 6),))
+        campaign = generate_campaign(config)
+        assert len(campaign) == 7 * 2  # kinds x targets
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(stride=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(init_glucose_values=())
+        with pytest.raises(ValueError):
+            CampaignConfig(timing_choices=())
+
+    def test_labels_unique(self):
+        campaign = generate_campaign()
+        labels = [s.label for s in campaign]
+        assert len(set(labels)) == len(labels)

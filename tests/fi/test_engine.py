@@ -1,0 +1,81 @@
+"""Tests for the fault injector."""
+
+import pytest
+
+from repro.fi import FaultInjector, FaultKind, FaultSpec, FaultTarget
+
+
+def injector(kind, target, start=5, dur=3, value=0.0):
+    return FaultInjector(FaultSpec(kind=kind, target=target, start_step=start,
+                                   duration_steps=dur, value=value))
+
+
+class TestReadings:
+    def test_inactive_steps_pass_through(self):
+        inj = injector(FaultKind.MAX, FaultTarget.GLUCOSE)
+        assert inj.corrupt_reading(120.0, 0) == 120.0
+        assert inj.corrupt_reading(120.0, 99) == 120.0
+
+    def test_active_steps_corrupt(self):
+        inj = injector(FaultKind.MAX, FaultTarget.GLUCOSE)
+        assert inj.corrupt_reading(120.0, 5) == 400.0
+
+    def test_rate_fault_leaves_reading_alone(self):
+        inj = injector(FaultKind.MAX, FaultTarget.RATE)
+        assert inj.corrupt_reading(120.0, 5) == 120.0
+
+    def test_hold_uses_last_pre_fault_reading(self):
+        inj = injector(FaultKind.HOLD, FaultTarget.GLUCOSE)
+        inj.corrupt_reading(111.0, 4)   # last clean sample
+        assert inj.corrupt_reading(200.0, 5) == 111.0
+        assert inj.corrupt_reading(250.0, 6) == 111.0
+
+    def test_activation_recorded(self):
+        inj = injector(FaultKind.MAX, FaultTarget.GLUCOSE)
+        assert inj.activated_step is None
+        inj.corrupt_reading(120.0, 5)
+        assert inj.activated_step == 5
+
+
+class TestCommands:
+    def test_rate_corruption(self):
+        inj = injector(FaultKind.TRUNCATE, FaultTarget.RATE)
+        rate, bolus = inj.corrupt_command(2.0, 0.5, 5)
+        assert rate == 0.0
+        assert bolus == 0.5  # untouched
+
+    def test_bolus_corruption(self):
+        inj = injector(FaultKind.MAX, FaultTarget.BOLUS)
+        rate, bolus = inj.corrupt_command(2.0, 0.5, 5)
+        assert rate == 2.0
+        assert bolus == 10.0
+
+    def test_glucose_fault_leaves_command_alone(self):
+        inj = injector(FaultKind.MAX, FaultTarget.GLUCOSE)
+        assert inj.corrupt_command(2.0, 0.0, 5) == (2.0, 0.0)
+
+    def test_hold_rate(self):
+        inj = injector(FaultKind.HOLD, FaultTarget.RATE)
+        inj.corrupt_command(1.5, 0.0, 4)
+        rate, _ = inj.corrupt_command(0.0, 0.0, 5)
+        assert rate == 1.5
+
+    def test_add_rate(self):
+        inj = injector(FaultKind.ADD, FaultTarget.RATE, value=2.0)
+        rate, _ = inj.corrupt_command(1.0, 0.0, 5)
+        assert rate == 3.0
+
+
+class TestReset:
+    def test_reset_clears_held_state(self):
+        inj = injector(FaultKind.HOLD, FaultTarget.GLUCOSE)
+        inj.corrupt_reading(100.0, 4)
+        inj.corrupt_reading(200.0, 5)
+        inj.reset()
+        assert inj.activated_step is None
+        # no held value: passes through even while active
+        assert inj.corrupt_reading(222.0, 5) == 222.0
+
+    def test_fault_step_property(self):
+        inj = injector(FaultKind.MAX, FaultTarget.RATE, start=7)
+        assert inj.fault_step == 7

@@ -1,0 +1,90 @@
+"""Tests for hazard labeling (Section IV-C2)."""
+
+import numpy as np
+import pytest
+
+from repro.hazards import HazardType, label_hazards
+
+
+def ramp(start, stop, n):
+    return np.linspace(start, stop, n)
+
+
+class TestLabeling:
+    def test_euglycemic_trace_is_safe(self):
+        label = label_hazards(np.full(150, 120.0))
+        assert not label.any_hazard
+        assert label.first_hazard is None
+        assert label.first_type is None
+        assert not label.hazardous.any()
+
+    def test_hypo_ramp_labels_h1(self):
+        bg = np.concatenate([np.full(30, 120.0), ramp(120, 35, 60),
+                             np.full(60, 35.0)])
+        label = label_hazards(bg)
+        assert label.any_hazard
+        assert label.first_type == HazardType.H1
+
+    def test_hyper_ramp_labels_h2(self):
+        bg = np.concatenate([np.full(30, 140.0), ramp(140, 380, 60),
+                             np.full(60, 380.0)])
+        label = label_hazards(bg)
+        assert label.any_hazard
+        assert label.first_type == HazardType.H2
+
+    def test_hazard_starts_after_crossing(self):
+        """The hazard is flagged only once the windowed index crosses."""
+        bg = np.concatenate([np.full(30, 120.0), ramp(120, 35, 60),
+                             np.full(60, 35.0)])
+        label = label_hazards(bg)
+        assert label.first_hazard > 30
+
+    def test_mild_excursion_not_hazardous(self):
+        bg = np.concatenate([np.full(50, 120.0), ramp(120, 190, 50),
+                             ramp(190, 120, 50)])
+        label = label_hazards(bg)
+        assert not label.any_hazard
+
+    def test_hazard_time_in_minutes(self):
+        bg = np.concatenate([np.full(30, 120.0), ramp(120, 35, 60),
+                             np.full(60, 35.0)])
+        label = label_hazards(bg)
+        assert label.hazard_time(dt=5.0) == label.first_hazard * 5.0
+
+    def test_hazard_time_none_when_safe(self):
+        label = label_hazards(np.full(50, 120.0))
+        assert label.hazard_time() is None
+
+    def test_recovering_index_unflags(self):
+        """Once the index decreases, 'kept increasing' no longer holds."""
+        bg = np.concatenate([ramp(120, 35, 40), ramp(35, 120, 40),
+                             np.full(40, 120.0)])
+        label = label_hazards(bg)
+        # late euglycemic samples are not hazardous
+        assert not label.hazardous[-10:].any()
+
+    def test_types_vector_consistent_with_mask(self):
+        bg = np.concatenate([np.full(30, 120.0), ramp(120, 35, 60),
+                             np.full(60, 35.0)])
+        label = label_hazards(bg)
+        assert ((label.hazard_type > 0) == label.hazardous).all()
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            label_hazards(np.zeros((3, 3)) + 120.0)
+
+    def test_custom_thresholds(self):
+        bg = np.concatenate([np.full(30, 120.0), ramp(120, 80, 60),
+                             np.full(60, 80.0)])
+        strict = label_hazards(bg, lbgi_threshold=0.5)
+        default = label_hazards(bg)
+        assert strict.any_hazard
+        assert not default.any_hazard
+
+    def test_both_branches_severe_swing(self):
+        """A swing through both extremes labels both hazard types."""
+        bg = np.concatenate([ramp(120, 35, 50), ramp(35, 380, 80),
+                             np.full(30, 380.0)])
+        label = label_hazards(bg)
+        types = set(label.hazard_type[label.hazardous])
+        assert {int(HazardType.H1), int(HazardType.H2)} <= types

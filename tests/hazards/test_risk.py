@@ -1,0 +1,107 @@
+"""Tests for the Kovatchev BG risk index (Eq. 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hazards import hbgi, lbgi, risk, rolling_indices, signed_risk
+from repro.hazards.risk import RISK_ZERO_BG
+
+
+class TestRiskFunction:
+    def test_zero_at_crossover(self):
+        assert risk(RISK_ZERO_BG) == pytest.approx(0.0, abs=1e-9)
+
+    def test_crossover_near_112(self):
+        """The Kovatchev risk zero is ~112.5 mg/dL."""
+        assert 110 < RISK_ZERO_BG < 115
+
+    def test_eq5_value_at_50(self):
+        # direct evaluation of Eq. 5
+        expected = 10 * (1.509 * (np.log(50.0) ** 1.084 - 5.381)) ** 2
+        assert risk(50.0) == pytest.approx(expected)
+
+    def test_hypo_is_negative_signed(self):
+        assert signed_risk(60.0) < 0
+
+    def test_hyper_is_positive_signed(self):
+        assert signed_risk(300.0) > 0
+
+    def test_severe_hypo_riskier_than_mild(self):
+        assert risk(40.0) > risk(70.0) > risk(100.0)
+
+    def test_severe_hyper_riskier_than_mild(self):
+        assert risk(400.0) > risk(250.0) > risk(160.0)
+
+    def test_array_input(self):
+        values = risk(np.array([60.0, 112.5, 300.0]))
+        assert values.shape == (3,)
+
+    def test_scalar_returns_float(self):
+        assert isinstance(risk(100.0), float)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            risk(0.0)
+        with pytest.raises(ValueError):
+            signed_risk(np.array([100.0, -5.0]))
+
+    @given(st.floats(min_value=20, max_value=600))
+    @settings(max_examples=100, deadline=None)
+    def test_risk_nonnegative(self, bg):
+        assert risk(bg) >= 0
+
+    @given(st.floats(min_value=20, max_value=600))
+    @settings(max_examples=100, deadline=None)
+    def test_signed_magnitude_matches_risk(self, bg):
+        assert abs(signed_risk(bg)) == pytest.approx(risk(bg), rel=1e-9)
+
+
+class TestIndices:
+    def test_lbgi_zero_for_hyper_window(self):
+        assert lbgi([200.0, 250.0, 300.0]) == 0.0
+
+    def test_hbgi_zero_for_hypo_window(self):
+        assert hbgi([50.0, 60.0, 70.0]) == 0.0
+
+    def test_lbgi_high_for_severe_hypo(self):
+        assert lbgi([45.0] * 12) > 5.0
+
+    def test_hbgi_high_for_severe_hyper(self):
+        assert hbgi([350.0] * 12) > 9.0
+
+    def test_mixed_window_contributes_both(self):
+        window = [50.0] * 6 + [300.0] * 6
+        assert lbgi(window) > 0
+        assert hbgi(window) > 0
+
+    def test_euglycemic_window_is_low_risk(self):
+        window = np.linspace(90, 140, 12)
+        assert lbgi(window) < 2.0
+        assert hbgi(window) < 2.0
+
+
+class TestRollingIndices:
+    def test_output_lengths(self):
+        bg = np.full(30, 120.0)
+        low, high = rolling_indices(bg, window=12)
+        assert len(low) == len(high) == 30
+
+    def test_matches_direct_windows(self):
+        rng = np.random.default_rng(0)
+        bg = rng.uniform(50, 350, size=40)
+        low, high = rolling_indices(bg, window=12)
+        for t in range(40):
+            start = max(t - 11, 0)
+            assert low[t] == pytest.approx(lbgi(bg[start:t + 1]))
+            assert high[t] == pytest.approx(hbgi(bg[start:t + 1]))
+
+    def test_ramp_into_hypo_raises_lbgi(self):
+        bg = np.linspace(120, 40, 36)
+        low, _ = rolling_indices(bg, window=12)
+        assert low[-1] > low[18] > low[0]
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            rolling_indices(np.full(5, 120.0), window=0)

@@ -1,0 +1,107 @@
+"""Tests for the CART decision tree."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTreeClassifier
+
+
+def xor_data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return X, y
+
+
+class TestFitting:
+    def test_perfectly_separable(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1])
+        tree = DecisionTreeClassifier(min_samples_split=2,
+                                      min_samples_leaf=1).fit(X, y)
+        np.testing.assert_array_equal(tree.predict(X), y)
+
+    def test_xor_needs_depth_two(self):
+        X, y = xor_data()
+        deep = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        accuracy = (deep.predict(X) == y).mean()
+        assert accuracy > 0.95
+
+    def test_depth_one_cannot_solve_xor(self):
+        X, y = xor_data()
+        stump = DecisionTreeClassifier(max_depth=1, min_samples_leaf=1).fit(X, y)
+        accuracy = (stump.predict(X) == y).mean()
+        assert accuracy < 0.7
+
+    def test_max_depth_respected(self):
+        X, y = xor_data()
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert tree.depth_ <= 3
+
+    def test_min_samples_leaf(self):
+        X, y = xor_data(n=40)
+        tree = DecisionTreeClassifier(min_samples_leaf=10).fit(X, y)
+
+        def check(node):
+            if node.is_leaf:
+                assert node.counts.sum() >= 10
+            else:
+                check(node.left)
+                check(node.right)
+        check(tree._root)
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(0, 1, size=(300, 1))
+        y = np.digitize(X[:, 0], [-0.5, 0.5])  # 3 classes
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert (tree.predict(X) == y).mean() > 0.9
+        assert len(tree.classes_) == 3
+
+    def test_pure_node_stops_splitting(self):
+        X = np.zeros((20, 1))
+        y = np.zeros(20, dtype=int)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree._root.is_leaf
+
+    def test_class_labels_preserved(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([5, 5, 9, 9])  # non-contiguous labels
+        tree = DecisionTreeClassifier(min_samples_split=2,
+                                      min_samples_leaf=1).fit(X, y)
+        assert set(tree.predict(X)) == {5, 9}
+
+
+class TestPredictProba:
+    def test_probabilities_sum_to_one(self):
+        X, y = xor_data()
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        proba = tree.predict_proba(X[:10])
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_single_sample_input(self):
+        X, y = xor_data()
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert tree.predict_proba(X[0]).shape == (1, 2)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+
+class TestValidation:
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_split=1)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+
+    def test_bad_shapes(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((5, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((0, 2)), np.zeros(0))

@@ -1,0 +1,169 @@
+"""Tests for the IVP (Glucosym-substitute) patient model."""
+
+import numpy as np
+import pytest
+
+from repro.patients import GLUCOSYM_COHORT, IVPParams, IVPPatient, Meal, glucosym_patient
+
+
+class TestParams:
+    def test_cohort_has_ten_patients(self):
+        assert len(GLUCOSYM_COHORT) == 10
+        assert set(GLUCOSYM_COHORT) == set("ABCDEFGHIJ")
+
+    def test_cohort_parameters_in_published_ranges(self):
+        for params in GLUCOSYM_COHORT.values():
+            assert 2e-4 <= params.SI <= 2e-3
+            assert 5e-4 <= params.GEZI <= 5e-3
+            assert 0.5 <= params.EGP <= 2.5
+            assert 1000 <= params.CI <= 3500
+            assert 30 <= params.tau1 <= 80
+            assert 30 <= params.tau2 <= 80
+            assert 0.003 <= params.p2 <= 0.03
+            assert 40 <= params.BW <= 120
+
+    def test_cohort_parameters_distinct(self):
+        values = {p.SI for p in GLUCOSYM_COHORT.values()}
+        assert len(values) == 10, "patients must be genuinely different"
+
+    def test_nonpositive_param_rejected(self):
+        with pytest.raises(ValueError):
+            IVPParams(SI=0, GEZI=1e-3, EGP=1.0, CI=2000, tau1=50, tau2=50,
+                      p2=0.01, BW=70)
+
+    def test_open_loop_glucose(self):
+        p = GLUCOSYM_COHORT["B"]
+        assert p.open_loop_glucose == pytest.approx(p.EGP / p.GEZI)
+
+
+class TestSteadyState:
+    def test_basal_rate_physiologic(self):
+        for pid in GLUCOSYM_COHORT:
+            basal = glucosym_patient(pid).basal_rate()
+            assert 0.3 <= basal <= 4.0, f"patient {pid} basal {basal} U/h"
+
+    def test_basal_holds_glucose(self):
+        patient = glucosym_patient("B")
+        basal = patient.basal_rate()
+        for _ in range(36):  # 3 hours
+            glucose = patient.step(basal)
+        assert glucose == pytest.approx(120.0, abs=0.5)
+
+    def test_basal_rate_decreases_with_target(self):
+        patient = glucosym_patient("B")
+        assert patient.basal_rate(100.0) > patient.basal_rate(160.0)
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            glucosym_patient("B").basal_rate(0.0)
+
+
+class TestDynamics:
+    def test_no_insulin_raises_glucose(self):
+        patient = glucosym_patient("B")
+        start = patient.glucose
+        for _ in range(36):
+            glucose = patient.step(0.0)
+        assert glucose > start + 10
+
+    def test_overdose_lowers_glucose(self):
+        patient = glucosym_patient("B")
+        basal = patient.basal_rate()
+        for _ in range(36):
+            glucose = patient.step(5.0 * basal)
+        assert glucose < 100
+
+    def test_glucose_rise_bounded_by_open_loop(self):
+        patient = glucosym_patient("B")
+        limit = patient.params.open_loop_glucose
+        for _ in range(400):
+            glucose = patient.step(0.0)
+        assert glucose <= limit + 1.0
+
+    def test_meal_raises_glucose(self):
+        patient = glucosym_patient("B")
+        basal = patient.basal_rate()
+        patient.add_meal(Meal(time=10.0, carbs=40.0))
+        peak = max(patient.step(basal) for _ in range(36))
+        assert peak > 180
+
+    def test_meal_conservation_scale(self):
+        """Total meal glucose appearance matches carbs/Vg."""
+        patient = glucosym_patient("B")
+        patient._ingest(50.0)  # 50 g
+        total = sum(patient.meal_appearance(t) for t in np.arange(0, 600, 0.5)) * 0.5
+        expected = 50.0 * 1000.0 / patient.params.glucose_volume_dl
+        assert total == pytest.approx(expected, rel=0.01)
+
+    def test_glucose_floor_holds(self):
+        patient = glucosym_patient("J")
+        for _ in range(300):
+            glucose = patient.step(10.0)  # massive overdose
+        assert glucose >= 10.0
+
+    def test_insulin_states_nonnegative(self):
+        patient = glucosym_patient("A")
+        for _ in range(50):
+            patient.step(0.0)
+        assert (patient.state >= 0).all()
+
+
+class TestStepInterface:
+    def test_negative_basal_rejected(self):
+        with pytest.raises(ValueError):
+            glucosym_patient("A").step(-1.0)
+
+    def test_negative_bolus_rejected(self):
+        with pytest.raises(ValueError):
+            glucosym_patient("A").step(1.0, bolus_u=-0.5)
+
+    def test_bolus_lowers_glucose_more(self):
+        p1 = glucosym_patient("B")
+        p2 = glucosym_patient("B")
+        basal = p1.basal_rate()
+        for _ in range(24):
+            g1 = p1.step(basal)
+            g2 = p2.step(basal, bolus_u=0.0)
+        assert g1 == pytest.approx(g2)
+        p3 = glucosym_patient("B")
+        p3.step(basal, bolus_u=2.0)
+        for _ in range(23):
+            g3 = p3.step(basal)
+        assert g3 < g1 - 5
+
+    def test_time_advances(self):
+        patient = glucosym_patient("A")
+        patient.step(1.0)
+        assert patient.t == pytest.approx(5.0)
+
+    def test_reset_restores_time_and_glucose(self):
+        patient = glucosym_patient("A")
+        patient.step(0.0)
+        patient.reset(150.0)
+        assert patient.t == 0.0
+        assert patient.glucose == pytest.approx(150.0)
+
+    def test_reset_invalid_glucose(self):
+        with pytest.raises(ValueError):
+            glucosym_patient("A").reset(-5.0)
+
+    def test_unknown_patient_id(self):
+        with pytest.raises(KeyError, match="unknown"):
+            glucosym_patient("Z")
+
+    def test_patient_prefix_accepted(self):
+        patient = glucosym_patient("patientA")
+        assert patient.name.endswith("/A")
+
+    def test_state_returns_copy(self):
+        patient = glucosym_patient("A")
+        state = patient.state
+        state[:] = -1
+        assert (patient.state >= 0).all()
+
+    def test_determinism(self):
+        p1, p2 = glucosym_patient("C"), glucosym_patient("C")
+        for _ in range(20):
+            g1 = p1.step(1.0)
+            g2 = p2.step(1.0)
+        assert g1 == g2

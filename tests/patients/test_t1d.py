@@ -1,0 +1,166 @@
+"""Tests for the Dalla Man S2013 (UVA-Padova-substitute) patient model."""
+
+import numpy as np
+import pytest
+
+from repro.patients import Meal, T1DParams, T1DPatient, T1DS2013_COHORT, t1d_patient
+from repro.patients.t1d import solve_kp1, _solve_basal_state
+
+
+class TestCohort:
+    def test_cohort_has_ten_patients(self):
+        assert len(T1DS2013_COHORT) == 10
+        assert all(pid.startswith("P") for pid in T1DS2013_COHORT)
+
+    def test_cohort_is_steady_state_consistent(self):
+        """Every cohort member has a well-posed positive basal."""
+        for pid, params in T1DS2013_COHORT.items():
+            _, ib, iirb = _solve_basal_state(params, params.Gb)
+            assert ib > 0, pid
+            assert iirb > 0, pid
+
+    def test_basal_insulin_physiologic(self):
+        for pid, params in T1DS2013_COHORT.items():
+            _, ib, _ = _solve_basal_state(params, params.Gb)
+            assert 30 <= ib <= 120, f"{pid}: basal insulin {ib} pmol/L"
+
+    def test_basal_rates_physiologic(self):
+        for pid in T1DS2013_COHORT:
+            basal = t1d_patient(pid).basal_rate()
+            assert 0.4 <= basal <= 3.0, f"{pid}: basal {basal} U/h"
+
+    def test_solve_kp1_round_trip(self):
+        params = T1DS2013_COHORT["P01"]
+        _, ib, _ = _solve_basal_state(params, params.Gb)
+        assert solve_kp1(params, ib) == pytest.approx(params.kp1)
+
+    def test_unknown_patient(self):
+        with pytest.raises(KeyError, match="unknown"):
+            t1d_patient("P99")
+
+
+class TestSteadyState:
+    def test_basal_holds_glucose(self):
+        patient = t1d_patient("P01")
+        basal = patient.basal_rate()
+        for _ in range(72):  # 6 hours
+            glucose = patient.step(basal)
+        assert glucose == pytest.approx(120.0, abs=1.0)
+
+    def test_sensor_tracks_blood_glucose_at_rest(self):
+        patient = t1d_patient("P02")
+        basal = patient.basal_rate()
+        for _ in range(24):
+            patient.step(basal)
+        assert patient.sensor_glucose == pytest.approx(patient.glucose, abs=1.0)
+
+    def test_unsustainable_target_rejected(self):
+        patient = t1d_patient("P01")
+        with pytest.raises(ValueError, match="sustain"):
+            patient.basal_rate(400.0)  # EGP cannot push BG this high
+
+
+class TestDynamics:
+    def test_insulin_suspension_raises_glucose(self):
+        patient = t1d_patient("P01")
+        for _ in range(150):  # 12.5 hours
+            glucose = patient.step(0.0)
+        assert glucose > 200
+
+    def test_overdose_causes_hypoglycemia(self):
+        patient = t1d_patient("P01")
+        basal = patient.basal_rate()
+        for _ in range(150):
+            glucose = patient.step(5.0 * basal)
+        assert glucose < 60
+
+    def test_sensor_lags_blood_glucose(self):
+        """Interstitial glucose lags plasma during a rapid fall."""
+        patient = t1d_patient("P01")
+        basal = patient.basal_rate()
+        patient.step(basal, bolus_u=3.0)
+        lagged = 0
+        for _ in range(24):
+            patient.step(basal)
+            if patient.sensor_glucose > patient.glucose:
+                lagged += 1
+        assert lagged > 12, "sensor should sit above plasma during a fall"
+
+    def test_meal_raises_glucose(self):
+        patient = t1d_patient("P01")
+        basal = patient.basal_rate()
+        patient.add_meal(Meal(time=10.0, carbs=50.0))
+        peak = max(patient.step(basal) for _ in range(48))
+        assert peak > 160
+
+    def test_remote_insulin_action_can_go_negative(self):
+        patient = t1d_patient("P01")
+        for _ in range(36):
+            patient.step(0.0)
+        assert patient.state[6] < 0  # X below basal
+
+    def test_glucose_floor(self):
+        patient = t1d_patient("P03")
+        for _ in range(300):
+            glucose = patient.step(8.0)
+        assert glucose >= 10.0
+
+    def test_risk_amplification_active_below_basal_glucose(self):
+        patient = t1d_patient("P01")
+        assert patient._risk(120.0) == 0.0
+        assert patient._risk(80.0) > 0.0
+        # saturates below Gth
+        assert patient._risk(40.0) == pytest.approx(patient._risk(60.0))
+
+    def test_risk_monotone_decreasing_in_glucose(self):
+        patient = t1d_patient("P01")
+        risks = [patient._risk(g) for g in (60, 80, 100, 119)]
+        assert risks == sorted(risks, reverse=True)
+
+
+class TestGastricEmptying:
+    def test_no_meal_uses_kmax(self):
+        patient = t1d_patient("P01")
+        assert patient._gastric_emptying(0.0) == patient.params.kmax
+
+    def test_emptying_rate_bounded(self):
+        patient = t1d_patient("P01")
+        patient._ingest(60.0)
+        p = patient.params
+        for qsto in np.linspace(0, 60000, 25):
+            k = patient._gastric_emptying(qsto)
+            assert p.kmin - 1e-12 <= k <= p.kmax + 1e-12
+
+    def test_meal_mass_enters_stomach(self):
+        patient = t1d_patient("P01")
+        patient._ingest(60.0)
+        assert patient.state[10] == pytest.approx(60000.0)  # mg
+
+
+class TestInterface:
+    def test_reset_sets_glucose_and_time(self):
+        patient = t1d_patient("P05")
+        patient.step(1.0)
+        patient.reset(160.0)
+        assert patient.t == 0.0
+        assert patient.glucose == pytest.approx(160.0)
+        assert patient.sensor_glucose == pytest.approx(160.0)
+
+    def test_invalid_reset(self):
+        with pytest.raises(ValueError):
+            t1d_patient("P05").reset(0.0)
+
+    def test_determinism(self):
+        p1, p2 = t1d_patient("P04"), t1d_patient("P04")
+        for _ in range(20):
+            g1 = p1.step(1.0)
+            g2 = p2.step(1.0)
+        assert g1 == g2
+
+    def test_nonpositive_parameter_rejected(self):
+        with pytest.raises(ValueError):
+            T1DParams(VG=-1.0)
+
+    def test_plasma_insulin_positive_at_rest(self):
+        patient = t1d_patient("P01")
+        assert patient.plasma_insulin > 0

@@ -1,0 +1,96 @@
+"""Tests for platform construction and campaign batches."""
+
+import pytest
+
+from repro.controllers import BasalBolusController, OpenAPSController
+from repro.fi import CampaignConfig, generate_campaign
+from repro.simulation import (
+    controller_profile,
+    kfold_split,
+    make_controller,
+    make_loop,
+    run_campaign,
+    run_fault_free,
+)
+from repro.patients import make_patient
+
+
+class TestProfiles:
+    def test_profile_fields(self):
+        patient = make_patient("glucosym", "B")
+        profile = controller_profile(patient)
+        assert set(profile) == {"basal", "isf", "target"}
+        assert profile["basal"] > 0
+        assert profile["isf"] > 0
+
+    def test_isf_inversely_proportional_to_basal(self):
+        low = controller_profile(make_patient("glucosym", "G"))   # low basal
+        high = controller_profile(make_patient("glucosym", "I"))  # high basal
+        assert low["basal"] < high["basal"]
+        assert low["isf"] > high["isf"]
+
+    def test_platform_controller_types(self):
+        glucosym = make_controller("glucosym", make_patient("glucosym", "A"))
+        t1d = make_controller("t1ds2013", make_patient("t1ds2013", "P01"))
+        assert isinstance(glucosym, OpenAPSController)
+        assert isinstance(t1d, BasalBolusController)
+
+    def test_unknown_platform(self):
+        with pytest.raises(KeyError, match="unknown platform"):
+            make_controller("nope", make_patient("glucosym", "A"))
+
+
+class TestCampaignRuns:
+    def test_run_campaign_counts(self):
+        campaign = generate_campaign(CampaignConfig(
+            stride=1, init_glucose_values=(120.0,), timing_choices=((10, 6),)))
+        traces = run_campaign("glucosym", ["A", "B"], campaign[:3], n_steps=30)
+        assert len(traces) == 6
+        assert {t.patient_id for t in traces} == {"A", "B"}
+
+    def test_traces_carry_fault_spec(self):
+        campaign = generate_campaign(CampaignConfig(
+            init_glucose_values=(120.0,), timing_choices=((5, 4),)))
+        traces = run_campaign("glucosym", ["A"], campaign[:2], n_steps=20)
+        assert all(t.fault is not None for t in traces)
+
+    def test_monitor_factory_called_per_patient(self):
+        calls = []
+
+        def factory(pid):
+            calls.append(pid)
+            from repro.core import cawot_monitor
+            return cawot_monitor()
+
+        campaign = generate_campaign(CampaignConfig(
+            init_glucose_values=(120.0,), timing_choices=((5, 4),)))
+        run_campaign("glucosym", ["A", "B"], campaign[:1],
+                     monitor_factory=factory, n_steps=20)
+        assert calls == ["A", "B"]
+
+    def test_run_fault_free(self):
+        traces = run_fault_free("glucosym", ["A"], (100.0, 160.0), n_steps=20)
+        assert len(traces) == 2
+        assert all(t.fault is None for t in traces)
+
+
+class TestKFold:
+    def test_partition(self):
+        items = list(range(10))
+        train, test = kfold_split(items, k=4, fold=0)
+        assert sorted(train + test) == items
+        assert set(train).isdisjoint(test)
+
+    def test_folds_cover_everything(self):
+        items = list(range(10))
+        covered = []
+        for fold in range(4):
+            _, test = kfold_split(items, k=4, fold=fold)
+            covered.extend(test)
+        assert sorted(covered) == items
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            kfold_split([1, 2], k=1, fold=0)
+        with pytest.raises(ValueError):
+            kfold_split([1, 2], k=2, fold=2)

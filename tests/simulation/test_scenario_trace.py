@@ -1,0 +1,89 @@
+"""Tests for Scenario validation and SimulationTrace accessors."""
+
+import numpy as np
+import pytest
+
+from repro.fi import FaultKind, FaultSpec, FaultTarget
+from repro.patients import Meal
+from repro.simulation import Scenario, TraceRecorder
+
+
+class TestScenario:
+    def test_defaults_match_paper(self):
+        s = Scenario()
+        assert s.n_steps == 150
+        assert s.dt == 5.0
+        assert s.duration == 750.0
+        assert s.meals == ()
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            Scenario(init_glucose=0)
+        with pytest.raises(ValueError):
+            Scenario(n_steps=1)
+        with pytest.raises(ValueError):
+            Scenario(dt=0)
+
+    def test_meals_carried(self):
+        s = Scenario(meals=(Meal(60.0, 40.0),))
+        assert s.meals[0].carbs == 40.0
+
+
+def build_trace(n=30, alerts=(), hazard_bg=None, fault=None):
+    recorder = TraceRecorder(platform="glucosym", patient_id="A",
+                             label="test", dt=5.0, fault=fault)
+    for i in range(n):
+        bg = 120.0 if hazard_bg is None else hazard_bg[i]
+        recorder.append(
+            t=5.0 * i, true_bg=bg, cgm=bg, reading=bg,
+            ctrl_rate=1.0, ctrl_bolus=0.0, cmd_rate=1.0, cmd_bolus=0.0,
+            action=4, iob=1.0, iob_rate=0.0, final_rate=1.0, final_bolus=0.0,
+            delivered_rate=1.0, delivered_bolus=0.0,
+            alert=i in alerts, alert_hazard=1 if i in alerts else 0,
+            mitigated=False)
+    return recorder.finish()
+
+
+class TestTraceAccessors:
+    def test_empty_recorder_rejected(self):
+        recorder = TraceRecorder(platform="glucosym", patient_id="A",
+                                 label="", dt=5.0)
+        with pytest.raises(ValueError):
+            recorder.finish()
+
+    def test_first_alert(self):
+        trace = build_trace(alerts={7, 9})
+        assert trace.first_alert == 7
+
+    def test_first_alert_none(self):
+        assert build_trace().first_alert is None
+
+    def test_reaction_time_requires_hazard(self):
+        trace = build_trace(alerts={3})
+        assert trace.reaction_time() is None  # safe trace
+
+    def test_reaction_time_positive_for_early_alert(self):
+        bg = np.concatenate([np.full(10, 120.0), np.linspace(120, 35, 10),
+                             np.full(10, 35.0)])
+        trace = build_trace(n=30, alerts={5}, hazard_bg=bg)
+        assert trace.hazardous
+        rt = trace.reaction_time()
+        assert rt == (trace.hazard_label.first_hazard - 5) * 5.0
+        assert rt > 0
+
+    def test_time_to_hazard_uses_fault_start(self):
+        bg = np.concatenate([np.full(10, 120.0), np.linspace(120, 35, 10),
+                             np.full(10, 35.0)])
+        fault = FaultSpec(FaultKind.MAX, FaultTarget.RATE, 8, 6)
+        trace = build_trace(n=30, hazard_bg=bg, fault=fault)
+        assert trace.time_to_hazard() == (trace.hazard_label.first_hazard - 8) * 5.0
+
+    def test_summary_mentions_fault_and_hazard(self):
+        fault = FaultSpec(FaultKind.MAX, FaultTarget.RATE, 8, 6)
+        trace = build_trace(fault=fault)
+        assert "max_rate" in trace.summary()
+        assert "safe" in trace.summary()
+
+    def test_hazard_label_cached(self):
+        trace = build_trace()
+        assert trace.hazard_label is trace.hazard_label

@@ -1,0 +1,145 @@
+"""Unit tests for the STL AST (repro.stl.ast)."""
+
+import pytest
+
+from repro.stl import (
+    And,
+    Atomic,
+    Eventually,
+    Globally,
+    Implies,
+    Not,
+    Or,
+    Param,
+    Predicate,
+    Signal,
+    Since,
+    Until,
+    all_params,
+)
+
+
+class TestParam:
+    def test_resolve_from_env(self):
+        p = Param("beta1")
+        assert p.resolve({"beta1": 3.5}) == 3.5
+
+    def test_resolve_default(self):
+        p = Param("beta1", default=2.0)
+        assert p.resolve(None) == 2.0
+        assert p.resolve({}) == 2.0
+
+    def test_env_overrides_default(self):
+        p = Param("beta1", default=2.0)
+        assert p.resolve({"beta1": 9.0}) == 9.0
+
+    def test_unbound_raises(self):
+        with pytest.raises(KeyError, match="beta1"):
+            Param("beta1").resolve(None)
+
+    def test_equality_and_hash(self):
+        assert Param("b", 1.0) == Param("b", 1.0)
+        assert Param("b") != Param("c")
+        assert hash(Param("b", 1.0)) == hash(Param("b", 1.0))
+
+
+class TestPredicate:
+    def test_invalid_op_rejected(self):
+        with pytest.raises(ValueError, match="comparison"):
+            Predicate("BG", "~", 100)
+
+    def test_parameters_exposed(self):
+        pred = Predicate("IOB", "<", Param("beta1"))
+        assert pred.parameters() == frozenset({"beta1"})
+
+    def test_concrete_threshold_has_no_parameters(self):
+        assert Predicate("BG", ">", 180).parameters() == frozenset()
+
+    def test_bind_replaces_param(self):
+        pred = Predicate("IOB", "<", Param("beta1"))
+        bound = pred.bind({"beta1": 4.2})
+        assert bound.resolve_threshold(None) == 4.2
+        # original unchanged
+        assert isinstance(pred.threshold, Param)
+
+    def test_bind_ignores_other_names(self):
+        pred = Predicate("IOB", "<", Param("beta1"))
+        assert isinstance(pred.bind({"other": 1.0}).threshold, Param)
+
+    def test_str(self):
+        assert str(Predicate("BG", ">", 180)) == "(BG > 180)"
+
+
+class TestSignal:
+    def test_signal_is_boolean_predicate(self):
+        sig = Signal("u1")
+        assert sig.channel == "u1"
+        assert sig.op == ">"
+        assert sig.threshold == 0.5
+
+    def test_str_is_bare_name(self):
+        assert str(Signal("u1")) == "u1"
+
+
+class TestComposite:
+    def test_and_collects_parameters(self):
+        f = And([Predicate("IOB", "<", Param("b1")), Predicate("BG", ">", Param("b2"))])
+        assert f.parameters() == frozenset({"b1", "b2"})
+
+    def test_nested_bind(self):
+        f = Globally(Implies(Predicate("IOB", "<", Param("b1")), Not(Signal("u1"))))
+        bound = f.bind({"b1": 1.5})
+        assert bound.parameters() == frozenset()
+
+    def test_empty_nary_rejected(self):
+        with pytest.raises(ValueError):
+            And([])
+        with pytest.raises(ValueError):
+            Or([])
+
+    def test_operator_overloads(self):
+        a = Predicate("BG", ">", 180)
+        b = Signal("u1")
+        assert isinstance(a & b, And)
+        assert isinstance(a | b, Or)
+        assert isinstance(~a, Not)
+        assert isinstance(a.implies(b), Implies)
+
+    def test_channels(self):
+        f = Implies(Predicate("BG", ">", 180) & Predicate("IOB", "<", 2), Not(Signal("u1")))
+        assert f.channels() == frozenset({"BG", "IOB", "u1"})
+
+    def test_all_params_reports_defaults(self):
+        f = And([
+            Predicate("IOB", "<", Param("b1", default=2.0)),
+            Predicate("IOB", ">", Param("b2")),
+        ])
+        assert all_params(f) == {"b1": 2.0, "b2": None}
+
+
+class TestTemporal:
+    def test_negative_lower_bound_rejected(self):
+        with pytest.raises(ValueError):
+            Globally(Atomic(True), lo=-1)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            Eventually(Atomic(True), lo=10, hi=5)
+
+    def test_unbounded_window_allowed(self):
+        g = Globally(Atomic(True), lo=0, hi=None)
+        assert g.hi is None
+
+    def test_binary_temporal_children(self):
+        u = Until(Signal("a"), Signal("b"), 0, 30)
+        assert u.left.channel == "a"
+        assert u.right.channel == "b"
+
+    def test_since_window_validation(self):
+        with pytest.raises(ValueError):
+            Since(Atomic(True), Atomic(True), lo=5, hi=1)
+
+    def test_str_round_trippable_tokens(self):
+        f = Globally(Implies(Predicate("BG", ">", 180), Not(Signal("u1"))), 0, 720)
+        text = str(f)
+        assert "G[0,720]" in text and "u1" in text and "->" in text

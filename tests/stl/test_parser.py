@@ -1,0 +1,162 @@
+"""Unit tests for the STL text parser."""
+
+import pytest
+
+from repro.stl import (
+    And,
+    Eventually,
+    Globally,
+    Implies,
+    Not,
+    Or,
+    Param,
+    ParseError,
+    Predicate,
+    Signal,
+    Since,
+    Until,
+    parse,
+)
+
+
+class TestAtoms:
+    def test_comparison(self):
+        f = parse("BG > 180")
+        assert isinstance(f, Predicate)
+        assert (f.channel, f.op, f.threshold) == ("BG", ">", 180.0)
+
+    def test_all_comparison_ops(self):
+        for op in ("<", "<=", ">", ">=", "==", "!="):
+            f = parse(f"BG {op} 100")
+            assert f.op == op
+
+    def test_negative_threshold(self):
+        f = parse("BG' > -5")
+        assert f.threshold == -5.0
+
+    def test_scientific_notation(self):
+        f = parse("x > 1.5e-3")
+        assert f.threshold == pytest.approx(1.5e-3)
+
+    def test_primed_identifier(self):
+        f = parse("BG' < 3")
+        assert f.channel == "BG'"
+
+    def test_bare_identifier_is_boolean_signal(self):
+        f = parse("u1")
+        assert isinstance(f, Signal)
+
+    def test_param_rhs(self):
+        f = parse("IOB < beta1")
+        assert isinstance(f.threshold, Param)
+        assert f.threshold.name == "beta1"
+
+    def test_param_default_injection(self):
+        f = parse("IOB < beta1", params={"beta1": 2.5})
+        assert f.threshold.default == 2.5
+
+    def test_true_false(self):
+        from repro.stl import Atomic
+        assert isinstance(parse("true"), Atomic)
+        assert parse("false").value is False
+
+
+class TestOperators:
+    def test_not(self):
+        f = parse("!u1")
+        assert isinstance(f, Not)
+        assert isinstance(f.child, Signal)
+
+    def test_and_is_nary(self):
+        f = parse("a & b & c")
+        assert isinstance(f, And)
+        assert len(f.children) == 3
+
+    def test_or(self):
+        f = parse("a | b")
+        assert isinstance(f, Or)
+
+    def test_and_binds_tighter_than_or(self):
+        f = parse("a & b | c")
+        assert isinstance(f, Or)
+        assert isinstance(f.children[0], And)
+
+    def test_implies_right_assoc(self):
+        f = parse("a -> b -> c")
+        assert isinstance(f, Implies)
+        assert isinstance(f.consequent, Implies)
+
+    def test_c_style_synonyms(self):
+        f = parse("a && b || c")
+        assert isinstance(f, Or)
+
+    def test_parentheses(self):
+        f = parse("(a | b) & c")
+        assert isinstance(f, And)
+
+
+class TestTemporal:
+    def test_globally_with_window(self):
+        f = parse("G[0,720](BG > 70)")
+        assert isinstance(f, Globally)
+        assert (f.lo, f.hi) == (0.0, 720.0)
+
+    def test_globally_unbounded(self):
+        f = parse("G(BG > 70)")
+        assert f.hi is None
+
+    def test_globally_end_keyword(self):
+        f = parse("G[5,end](BG > 70)")
+        assert f.lo == 5.0 and f.hi is None
+
+    def test_eventually(self):
+        f = parse("F[0,25](BG > 70)")
+        assert isinstance(f, Eventually)
+
+    def test_until(self):
+        f = parse("a U[0,30] b")
+        assert isinstance(f, Until)
+        assert f.hi == 30.0
+
+    def test_since(self):
+        f = parse("(F[0,15](u3)) S (BG < 70)")
+        assert isinstance(f, Since)
+        assert isinstance(f.left, Eventually)
+
+    def test_paper_rule_shape(self):
+        f = parse("G[0,745]((BG > 120 & BG' > 0) & (IOB' < 0 & IOB < beta1) -> !u1)")
+        assert isinstance(f, Globally)
+        assert isinstance(f.child, Implies)
+        assert f.parameters() == frozenset({"beta1"})
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse("a b")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse("(a & b")
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse("")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse("a @ b")
+
+    def test_bad_window(self):
+        with pytest.raises(ParseError):
+            parse("G[a,b](x > 1)")
+
+    def test_comparison_to_keyword_rejected(self):
+        with pytest.raises(ParseError):
+            parse("BG > end")
+
+    def test_str_of_parsed_formula_reparses(self):
+        text = "G[0,720]((BG > 180 & IOB < beta1) -> !u1)"
+        f = parse(text)
+        f2 = parse(str(f))
+        assert str(f2) == str(f)

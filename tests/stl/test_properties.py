@@ -1,0 +1,126 @@
+"""Hypothesis property-based tests for the STL engine.
+
+These check the classic soundness/duality laws of quantitative STL semantics
+on randomly generated traces and formulas.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stl import (
+    And,
+    Eventually,
+    Globally,
+    Not,
+    Or,
+    Predicate,
+    robustness,
+    satisfaction,
+    Trace,
+)
+
+N_SAMPLES = 12
+
+
+@st.composite
+def traces(draw):
+    values = draw(st.lists(
+        st.floats(min_value=-100, max_value=400, allow_nan=False,
+                  allow_infinity=False, width=32),
+        min_size=N_SAMPLES, max_size=N_SAMPLES))
+    return Trace({"x": values}, dt=5.0)
+
+
+@st.composite
+def predicates(draw):
+    op = draw(st.sampled_from(["<", "<=", ">", ">="]))
+    threshold = draw(st.floats(min_value=-50, max_value=350, allow_nan=False,
+                               allow_infinity=False, width=32))
+    return Predicate("x", op, threshold)
+
+
+@st.composite
+def formulas(draw, depth=2):
+    if depth == 0:
+        return draw(predicates())
+    kind = draw(st.sampled_from(["pred", "not", "and", "or", "G", "F"]))
+    if kind == "pred":
+        return draw(predicates())
+    if kind == "not":
+        return Not(draw(formulas(depth=depth - 1)))
+    if kind in ("and", "or"):
+        left = draw(formulas(depth=depth - 1))
+        right = draw(formulas(depth=depth - 1))
+        return And([left, right]) if kind == "and" else Or([left, right])
+    lo = draw(st.integers(min_value=0, max_value=2)) * 5.0
+    hi = lo + draw(st.integers(min_value=0, max_value=3)) * 5.0
+    cls = Globally if kind == "G" else Eventually
+    return cls(draw(formulas(depth=depth - 1)), lo, hi)
+
+
+@given(traces(), formulas())
+@settings(max_examples=150, deadline=None)
+def test_soundness_positive_robustness_implies_satisfaction(trace, formula):
+    """rho > 0 => satisfied; rho < 0 => not satisfied (at every index)."""
+    rho = robustness(formula, trace)
+    sat = satisfaction(formula, trace)
+    strictly_pos = rho > 1e-9
+    strictly_neg = rho < -1e-9
+    assert np.all(sat[strictly_pos])
+    assert not np.any(sat[strictly_neg])
+
+
+@given(traces(), formulas())
+@settings(max_examples=100, deadline=None)
+def test_negation_flips_robustness(trace, formula):
+    rho = robustness(formula, trace)
+    rho_neg = robustness(Not(formula), trace)
+    np.testing.assert_allclose(rho_neg, -rho)
+
+
+@given(traces(), formulas())
+@settings(max_examples=100, deadline=None)
+def test_globally_eventually_duality(trace, formula):
+    """G phi == !F !phi pointwise (boolean and robustness)."""
+    g = Globally(formula, 0, 15)
+    dual = Not(Eventually(Not(formula), 0, 15))
+    np.testing.assert_array_equal(satisfaction(g, trace), satisfaction(dual, trace))
+    np.testing.assert_allclose(robustness(g, trace), robustness(dual, trace))
+
+
+@given(traces(), formulas(), formulas())
+@settings(max_examples=100, deadline=None)
+def test_conjunction_is_min(trace, f1, f2):
+    rho = robustness(And([f1, f2]), trace)
+    expected = np.minimum(robustness(f1, trace), robustness(f2, trace))
+    np.testing.assert_allclose(rho, expected)
+
+
+@given(traces(), predicates())
+@settings(max_examples=100, deadline=None)
+def test_globally_monotone_in_window(trace, pred):
+    """Widening a G window can only lower robustness."""
+    narrow = robustness(Globally(pred, 0, 10), trace)
+    wide = robustness(Globally(pred, 0, 25), trace)
+    assert np.all(wide <= narrow + 1e-9)
+
+
+@given(traces(), predicates())
+@settings(max_examples=100, deadline=None)
+def test_eventually_monotone_in_window(trace, pred):
+    """Widening an F window can only raise robustness."""
+    narrow = robustness(Eventually(pred, 0, 10), trace)
+    wide = robustness(Eventually(pred, 0, 25), trace)
+    assert np.all(wide >= narrow - 1e-9)
+
+
+@given(traces(), predicates())
+@settings(max_examples=100, deadline=None)
+def test_predicate_robustness_matches_margin(trace, pred):
+    rho = robustness(pred, trace)
+    x = trace["x"]
+    if pred.op in (">", ">="):
+        np.testing.assert_allclose(rho, x - pred.threshold)
+    else:
+        np.testing.assert_allclose(rho, pred.threshold - x)

@@ -1,0 +1,246 @@
+"""Unit tests for STL boolean and robustness semantics."""
+
+import numpy as np
+import pytest
+
+from repro.stl import (
+    Atomic,
+    Eventually,
+    Globally,
+    Implies,
+    Not,
+    Or,
+    Predicate,
+    Signal,
+    Since,
+    Until,
+    parse,
+    robustness,
+    satisfaction,
+    satisfied,
+    trace_robustness,
+    Trace,
+)
+
+
+def tr(**channels):
+    return Trace(channels, dt=5.0)
+
+
+class TestPredicates:
+    def test_gt_boolean(self):
+        t = tr(BG=[60.0, 70.0, 80.0])
+        np.testing.assert_array_equal(
+            satisfaction(parse("BG > 70"), t), [False, False, True])
+
+    def test_ge_includes_boundary(self):
+        t = tr(BG=[60.0, 70.0, 80.0])
+        np.testing.assert_array_equal(
+            satisfaction(parse("BG >= 70"), t), [False, True, True])
+
+    def test_lt_robustness_sign(self):
+        t = tr(IOB=[1.0, 3.0])
+        rob = robustness(parse("IOB < 2"), t)
+        np.testing.assert_allclose(rob, [1.0, -1.0])
+
+    def test_gt_robustness_is_margin(self):
+        t = tr(BG=[100.0, 200.0])
+        rob = robustness(parse("BG > 180"), t)
+        np.testing.assert_allclose(rob, [-80.0, 20.0])
+
+    def test_equality_on_discrete_channel(self):
+        t = tr(mode=[0.0, 1.0, 2.0])
+        np.testing.assert_array_equal(
+            satisfaction(parse("mode == 1"), t), [False, True, False])
+
+    def test_inequality(self):
+        t = tr(mode=[0.0, 1.0])
+        np.testing.assert_array_equal(
+            satisfaction(parse("mode != 1"), t), [True, False])
+
+    def test_param_env_resolution(self):
+        t = tr(IOB=[1.0, 3.0])
+        f = parse("IOB < beta1")
+        np.testing.assert_array_equal(
+            satisfaction(f, t, env={"beta1": 2.0}), [True, False])
+
+    def test_boolean_signal(self):
+        t = tr(u1=[0.0, 1.0, 0.0])
+        np.testing.assert_array_equal(satisfaction(Signal("u1"), t),
+                                      [False, True, False])
+
+
+class TestBooleanConnectives:
+    def test_not(self):
+        t = tr(u1=[0.0, 1.0])
+        np.testing.assert_array_equal(satisfaction(Not(Signal("u1")), t),
+                                      [True, False])
+
+    def test_robustness_negation_flips_sign(self):
+        t = tr(BG=[100.0])
+        f = parse("BG > 80")
+        assert trace_robustness(Not(f), t) == -trace_robustness(f, t)
+
+    def test_and_robustness_is_min(self):
+        t = tr(a=[5.0], b=[2.0])
+        f = parse("a > 0 & b > 0")
+        assert trace_robustness(f, t) == 2.0
+
+    def test_or_robustness_is_max(self):
+        t = tr(a=[5.0], b=[2.0])
+        f = parse("a > 0 | b > 0")
+        assert trace_robustness(f, t) == 5.0
+
+    def test_implies_false_antecedent(self):
+        t = tr(BG=[100.0], u1=[1.0])
+        assert satisfied(parse("BG > 180 -> !u1"), t)
+
+    def test_implies_true_antecedent_false_consequent(self):
+        t = tr(BG=[200.0], u1=[1.0])
+        assert not satisfied(parse("BG > 180 -> !u1"), t)
+
+    def test_atomic_constants(self):
+        t = tr(a=[0.0, 0.0])
+        assert satisfaction(Atomic(True), t).all()
+        assert not satisfaction(Atomic(False), t).any()
+
+
+class TestGlobally:
+    def test_globally_all_samples(self):
+        t = tr(BG=[80.0, 90.0, 100.0])
+        assert satisfied(parse("G(BG > 70)"), t)
+
+    def test_globally_detects_violation(self):
+        t = tr(BG=[80.0, 60.0, 100.0])
+        assert not satisfied(parse("G(BG > 70)"), t)
+
+    def test_window_in_minutes(self):
+        # violation at sample 3 (t=15min) is outside G[0,10]
+        t = tr(BG=[80.0, 90.0, 85.0, 60.0])
+        assert satisfied(parse("G[0,10](BG > 70)"), t)
+        assert not satisfied(parse("G[0,15](BG > 70)"), t)
+
+    def test_pointwise_output(self):
+        t = tr(BG=[60.0, 90.0, 95.0])
+        out = satisfaction(parse("G(BG > 70)"), t)
+        np.testing.assert_array_equal(out, [False, True, True])
+
+    def test_globally_robustness_is_min(self):
+        t = tr(BG=[90.0, 75.0, 120.0])
+        assert trace_robustness(parse("G(BG > 70)"), t) == pytest.approx(5.0)
+
+    def test_empty_future_window_vacuously_true(self):
+        # at the last sample, G[5,10] looks beyond the trace: vacuous
+        t = tr(BG=[60.0])
+        assert satisfied(parse("G[5,10](BG > 70)"), t)
+
+    def test_window_not_multiple_of_dt_rejected(self):
+        t = tr(BG=[80.0, 90.0])
+        with pytest.raises(ValueError, match="multiple"):
+            satisfied(parse("G[0,7](BG > 70)"), t)
+
+
+class TestEventually:
+    def test_eventually_true(self):
+        t = tr(BG=[60.0, 60.0, 75.0])
+        assert satisfied(parse("F(BG > 70)"), t)
+
+    def test_eventually_false(self):
+        t = tr(BG=[60.0, 60.0, 65.0])
+        assert not satisfied(parse("F(BG > 70)"), t)
+
+    def test_eventually_window(self):
+        t = tr(BG=[60.0, 60.0, 75.0])
+        assert not satisfied(parse("F[0,5](BG > 70)"), t)
+        assert satisfied(parse("F[0,10](BG > 70)"), t)
+
+    def test_empty_window_false(self):
+        t = tr(BG=[75.0])
+        assert not satisfied(parse("F[5,10](BG > 70)"), t)
+
+    def test_eventually_robustness_is_max(self):
+        t = tr(BG=[60.0, 100.0, 80.0])
+        assert trace_robustness(parse("F(BG > 70)"), t) == pytest.approx(30.0)
+
+    def test_duality_with_globally(self):
+        t = tr(BG=[60.0, 100.0, 80.0])
+        f_ev = parse("F(BG > 70)")
+        f_gl = Not(Globally(Not(parse("BG > 70"))))
+        np.testing.assert_array_equal(satisfaction(f_ev, t), satisfaction(f_gl, t))
+
+
+class TestUntil:
+    def test_until_basic(self):
+        # a holds until b becomes true at sample 2
+        t = tr(a=[1.0, 1.0, 0.0], b=[0.0, 0.0, 1.0])
+        assert satisfied(parse("a U b"), t)
+
+    def test_until_fails_when_left_breaks(self):
+        t = tr(a=[1.0, 0.0, 0.0], b=[0.0, 0.0, 1.0])
+        assert not satisfied(parse("a U b"), t)
+
+    def test_until_immediate_right(self):
+        t = tr(a=[0.0], b=[1.0])
+        assert satisfied(parse("a U b"), t)
+
+    def test_until_window(self):
+        t = tr(a=[1.0, 1.0, 1.0, 0.0], b=[0.0, 0.0, 1.0, 0.0])
+        assert not satisfied(parse("a U[0,5] b"), t)
+        assert satisfied(parse("a U[0,10] b"), t)
+
+    def test_until_robustness_positive_iff_satisfied(self):
+        t = tr(a=[1.0, 1.0, 0.0], b=[0.0, 0.0, 1.0])
+        f = parse("a U b")
+        assert (trace_robustness(f, t) > 0) == satisfied(f, t)
+
+
+class TestSince:
+    def test_since_basic(self):
+        # b was true at sample 0, a held afterwards
+        t = tr(a=[0.0, 1.0, 1.0], b=[1.0, 0.0, 0.0])
+        out = satisfaction(parse("a S b"), t)
+        np.testing.assert_array_equal(out, [True, True, True])
+
+    def test_since_fails_when_left_breaks(self):
+        t = tr(a=[0.0, 0.0, 1.0], b=[1.0, 0.0, 0.0])
+        out = satisfaction(parse("a S b"), t)
+        np.testing.assert_array_equal(out, [True, False, False])
+
+    def test_since_window_limits_past(self):
+        t = tr(a=[0.0, 1.0, 1.0, 1.0], b=[1.0, 0.0, 0.0, 0.0])
+        out = satisfaction(parse("a S[0,5] b"), t)
+        # at sample 3, b last held 15 min ago: outside [0,5]
+        np.testing.assert_array_equal(out, [True, True, False, False])
+
+    def test_hms_shape_from_paper(self):
+        # Eq. 2: G( (F[0,ts](uc)) S (context) ) - mitigation uc issued within
+        # ts minutes since entering context.
+        t = tr(uc=[0.0, 0.0, 1.0, 0.0], low=[0.0, 1.0, 1.0, 1.0])
+        f = parse("(F[0,5](uc)) S low")
+        out = satisfaction(f, t)
+        # context entered at sample 1; uc at sample 2 is within 5 min of
+        # samples 1 and 2 and within the window from sample 3's perspective
+        assert bool(out[1]) and bool(out[2])
+
+
+class TestPaperRules:
+    def test_rule1_alerts_on_uca(self):
+        """Table I rule 1: hyper context & decrease-insulin action violates."""
+        rule = parse("G((BG > 120 & BG' > 0 & IOB' < 0 & IOB < beta1) -> !u1)")
+        t = Trace({
+            "BG": [150.0, 160.0, 170.0],
+            "BG'": [0.0, 2.0, 2.0],
+            "IOB": [1.0, 0.8, 0.6],
+            "IOB'": [0.0, -0.04, -0.04],
+            "u1": [0.0, 1.0, 0.0],
+        }, dt=5.0)
+        assert not satisfied(rule, t, env={"beta1": 2.0})
+        # with a tiny threshold the context never holds -> satisfied
+        assert satisfied(rule, t, env={"beta1": 0.1})
+
+    def test_rule10_requires_stop_on_low_bg(self):
+        rule = parse("G((BG < beta21) -> u3)")
+        t = Trace({"BG": [80.0, 60.0], "u3": [0.0, 1.0]}, dt=5.0)
+        assert satisfied(rule, t, env={"beta21": 70.0})
+        t_bad = Trace({"BG": [80.0, 60.0], "u3": [0.0, 0.0]}, dt=5.0)
+        assert not satisfied(rule, t_bad, env={"beta21": 70.0})

@@ -1,0 +1,100 @@
+"""Cross-cutting property-based tests on system-level invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controllers import ControlAction, InsulinActivityCurve, classify_action
+from repro.fi import FaultKind, FaultSpec, FaultTarget, VARIABLE_RANGES
+from repro.hazards import label_hazards, risk
+from repro.patients import InsulinPump, glucosym_patient
+
+
+class TestPumpProperties:
+    @given(st.floats(min_value=-5, max_value=50, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_pump_output_always_valid(self, rate):
+        pump = InsulinPump(max_basal=10.0, increment=0.05)
+        actual = pump.command_basal(rate)
+        assert 0.0 <= actual <= 10.0
+        # quantized to the increment grid
+        steps = actual / 0.05
+        assert abs(steps - round(steps)) < 1e-6
+
+    @given(st.floats(min_value=0, max_value=10, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_quantization_never_rounds_up(self, rate):
+        pump = InsulinPump(increment=0.05)
+        assert pump.quantize(rate) <= rate + 1e-9
+
+
+class TestIOBProperties:
+    @given(st.floats(min_value=1, max_value=299, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_iob_fraction_bounded(self, minutes):
+        curve = InsulinActivityCurve(dia=300, peak=75)
+        assert 0.0 <= curve.iob_fraction(minutes) <= 1.0
+        assert curve.activity(minutes) >= 0.0
+
+
+class TestFaultProperties:
+    @given(st.sampled_from(list(FaultKind)),
+           st.sampled_from(list(FaultTarget)),
+           st.floats(min_value=0, max_value=500, allow_nan=False),
+           st.floats(min_value=0, max_value=500, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_corrupted_value_within_acceptable_range(self, kind, target,
+                                                     value, held):
+        spec = FaultSpec(kind=kind, target=target, start_step=0,
+                         duration_steps=1,
+                         value=0.5 if kind is FaultKind.SCALE else 10.0)
+        lo, hi = VARIABLE_RANGES[target]
+        clamped_value = min(max(value, lo), hi)
+        result = spec.apply(clamped_value, min(max(held, lo), hi))
+        assert lo <= result <= hi
+
+
+class TestRiskProperties:
+    @given(st.lists(st.floats(min_value=20, max_value=600, allow_nan=False),
+                    min_size=13, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_labeling_types_consistent(self, bg):
+        label = label_hazards(np.asarray(bg))
+        assert ((label.hazard_type > 0) == label.hazardous).all()
+        if label.any_hazard:
+            assert label.hazardous[label.first_hazard]
+            assert not label.hazardous[:label.first_hazard].any()
+
+    @given(st.floats(min_value=20, max_value=110, allow_nan=False),
+           st.floats(min_value=0.1, max_value=50, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_hypo_risk_monotone(self, bg, delta):
+        """Lower glucose on the hypo branch is always riskier."""
+        lower = max(bg - delta, 15.0)
+        assert risk(lower) >= risk(bg) - 1e-9
+
+
+class TestActionProperties:
+    @given(st.floats(min_value=0, max_value=10, allow_nan=False),
+           st.floats(min_value=0, max_value=5, allow_nan=False),
+           st.floats(min_value=0.1, max_value=3, allow_nan=False))
+    @settings(max_examples=150, deadline=None)
+    def test_classification_total_and_consistent(self, rate, bolus, reference):
+        action = classify_action(rate, bolus, reference)
+        assert action in ControlAction
+        if bolus > 0:
+            assert action == ControlAction.INCREASE
+        elif rate <= 0.01:
+            assert action == ControlAction.STOP
+
+
+class TestPatientEnergyBalance:
+    @given(st.floats(min_value=80, max_value=200, allow_nan=False))
+    @settings(max_examples=10, deadline=None)
+    def test_quasi_steady_init_holds_briefly(self, init_bg):
+        """The initial state is near-stationary under its holding basal."""
+        patient = glucosym_patient("B")
+        patient.reset(init_bg)
+        holding = patient.basal_rate(init_bg)
+        bg = patient.step(holding)
+        assert abs(bg - init_bg) < 2.0
