@@ -4,7 +4,11 @@ Compares the CAWT monitor against CAWOT, the medical-guidelines monitor
 (Table III) and the MPC monitor (Eq. 6) on one platform, reporting the
 sample-level accuracy with tolerance window and the reaction-time stats.
 
-Run:  python examples/monitor_comparison.py [glucosym|t1ds2013] [scale]
+Run:  python examples/monitor_comparison.py [glucosym|t1ds2013] [scale] [workers]
+
+The optional third argument fans the fault-injection campaign out over a
+process pool (see ``docs/parallel_campaigns.md``); the reproduced numbers
+are identical for every worker count.
 """
 
 import sys
@@ -15,10 +19,13 @@ from repro.experiments import ExperimentConfig, run_fig9, run_table5
 def main():
     platform = sys.argv[1] if len(sys.argv) > 1 else "glucosym"
     scale = sys.argv[2] if len(sys.argv) > 2 else "smoke"
-    config = ExperimentConfig.preset(scale, platform=platform)
+    workers = int(sys.argv[3]) if len(sys.argv) > 3 else 1
+    config = ExperimentConfig.preset(scale, platform=platform,
+                                     workers=workers)
     print(f"platform={platform} scale={scale}: "
           f"{len(config.patients)} patients x "
-          f"{config.scenarios_per_patient} scenarios\n")
+          f"{config.scenarios_per_patient} scenarios "
+          f"({config.workers} worker{'s' if config.workers != 1 else ''})\n")
     print(run_table5(config).text())
     print()
     print(run_fig9(config).text())

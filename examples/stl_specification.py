@@ -13,7 +13,6 @@ Run:  python examples/stl_specification.py
 
 import numpy as np
 
-from repro.controllers import ControlAction
 from repro.core import aps_scs
 from repro.stl import Trace, parse, robustness, satisfaction, satisfied
 

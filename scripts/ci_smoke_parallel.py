@@ -1,0 +1,73 @@
+"""CI smoke check: parallel campaign execution must match serial exactly.
+
+Runs the ``ci``-scale fault-injection grid through the serial executor and
+through a 2-worker process pool and asserts that the two trace streams are
+element-wise identical (every array channel, every metadata field).  This
+is the determinism guarantee the parallel engine is built on; CI runs it
+on every push so a regression can never land silently.
+
+Run:  python scripts/ci_smoke_parallel.py [workers]
+"""
+
+import dataclasses
+import sys
+import time
+
+import numpy as np
+
+from repro.experiments import ExperimentConfig
+from repro.fi import CampaignConfig, generate_campaign
+from repro.simulation import run_campaign
+
+
+def traces_identical(a, b) -> bool:
+    if (a.platform, a.patient_id, a.label, a.dt, a.fault) != \
+       (b.platform, b.patient_id, b.label, b.dt, b.fault):
+        return False
+    for f in dataclasses.fields(a):
+        value = getattr(a, f.name)
+        if isinstance(value, np.ndarray) and \
+                not np.array_equal(value, getattr(b, f.name)):
+            return False
+    return True
+
+
+def main() -> int:
+    workers = int(sys.argv[1]) if len(sys.argv) > 1 else 2
+    config = ExperimentConfig.preset("ci")
+    scenarios = generate_campaign(CampaignConfig(stride=config.stride))
+    n_expected = len(config.patients) * len(scenarios)
+    print(f"ci grid: {len(config.patients)} patients x "
+          f"{len(scenarios)} scenarios = {n_expected} simulations")
+
+    start = time.perf_counter()
+    serial = run_campaign(config.platform, config.patients, scenarios,
+                          n_steps=config.n_steps)
+    t_serial = time.perf_counter() - start
+    print(f"serial: {t_serial:.2f}s ({n_expected / t_serial:.1f} traces/sec)")
+
+    start = time.perf_counter()
+    parallel = run_campaign(config.platform, config.patients, scenarios,
+                            n_steps=config.n_steps, workers=workers)
+    t_parallel = time.perf_counter() - start
+    print(f"{workers} workers: {t_parallel:.2f}s "
+          f"({n_expected / t_parallel:.1f} traces/sec, "
+          f"{t_serial / t_parallel:.2f}x)")
+
+    if len(serial) != n_expected or len(parallel) != n_expected:
+        print(f"FAIL: expected {n_expected} traces, got "
+              f"{len(serial)} serial / {len(parallel)} parallel")
+        return 1
+    mismatches = [i for i, (s, p) in enumerate(zip(serial, parallel))
+                  if not traces_identical(s, p)]
+    if mismatches:
+        print(f"FAIL: {len(mismatches)} trace(s) differ between serial and "
+              f"parallel execution; first at index {mismatches[0]} "
+              f"({serial[mismatches[0]].label})")
+        return 1
+    print(f"OK: all {n_expected} traces element-wise identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

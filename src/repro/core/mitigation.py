@@ -34,6 +34,14 @@ class Mitigator(abc.ABC):
     def correct(self, verdict: MonitorVerdict, ctx: ContextVector) -> Tuple[float, float]:
         """Return the corrected ``(basal_u_h, bolus_u)`` command."""
 
+    def reset(self) -> None:
+        """Clear per-simulation state (default: stateless).
+
+        Campaigns reuse one mitigator across every scenario of a patient;
+        the closed loop calls this at the start of each run so a stateful
+        strategy can never leak decisions from one scenario into the next.
+        """
+
 
 @dataclass
 class FixedMitigator(Mitigator):

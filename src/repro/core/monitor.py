@@ -15,7 +15,7 @@ thresholds learned from data (:mod:`repro.core.learning`) it is the paper's
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..hazards import HazardType

@@ -7,7 +7,7 @@ code path with the same structure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Tuple
 
 from ..patients import patient_ids
@@ -43,6 +43,9 @@ class ExperimentConfig:
         Training epochs for the MLP/LSTM baselines.
     seed:
         Seed for ML training.
+    workers:
+        Campaign process-pool size (1 = serial).  Traces are identical for
+        every worker count, so this is excluded from :meth:`cache_key`.
     """
 
     platform: str = "glucosym"
@@ -56,10 +59,13 @@ class ExperimentConfig:
     lstm_window: int = 6
     ml_epochs: int = 12
     seed: int = 0
+    workers: int = 1
 
     def __post_init__(self):
         if self.stride < 1 or self.folds < 2 or self.n_steps < 20:
             raise ValueError("invalid experiment configuration")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
 
     @property
     def scenarios_per_patient(self) -> int:
@@ -70,7 +76,8 @@ class ExperimentConfig:
         return (self.platform, self.patients, self.stride, self.n_steps)
 
     @classmethod
-    def preset(cls, name: str, platform: str = "glucosym") -> "ExperimentConfig":
+    def preset(cls, name: str, platform: str = "glucosym",
+               workers: int = 1) -> "ExperimentConfig":
         """Build a named preset for one platform."""
         if name not in PRESETS:
             raise KeyError(f"unknown preset {name!r}; available: {sorted(PRESETS)}")
@@ -78,12 +85,16 @@ class ExperimentConfig:
         spec = PRESETS[name]
         patients = tuple(cohort[:spec["n_patients"]])
         return cls(platform=platform, patients=patients, stride=spec["stride"],
-                   folds=spec["folds"], ml_epochs=spec["ml_epochs"])
+                   folds=spec["folds"], ml_epochs=spec["ml_epochs"],
+                   workers=workers)
 
 
-#: preset name -> scale parameters
+#: preset name -> scale parameters.  ``ci`` is the continuous-integration
+#: grid: big enough (2 patients x 42 scenarios) to amortise worker start-up
+#: and exercise multi-patient sharding, small enough to finish in seconds.
 PRESETS = {
     "smoke": {"n_patients": 1, "stride": 63, "folds": 2, "ml_epochs": 3},
+    "ci": {"n_patients": 2, "stride": 21, "folds": 2, "ml_epochs": 3},
     "small": {"n_patients": 3, "stride": 7, "folds": 4, "ml_epochs": 10},
     "medium": {"n_patients": 10, "stride": 7, "folds": 4, "ml_epochs": 15},
     "full": {"n_patients": 10, "stride": 1, "folds": 4, "ml_epochs": 25},

@@ -11,7 +11,7 @@ one campaign per platform.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -20,7 +20,8 @@ from ..core import cawot_monitor, cawt_monitor, learn_thresholds
 from ..core.monitor import SafetyMonitor
 from ..fi import CampaignConfig, INITIAL_GLUCOSE_VALUES, generate_campaign
 from ..ml import train_dt_monitor, train_lstm_monitor, train_mlp_monitor
-from ..simulation import kfold_split, replay_many, run_campaign, run_fault_free
+from ..simulation import (BASELINE_CACHE, kfold_split, replay_many,
+                          run_campaign, run_fault_free)
 from .config import ExperimentConfig
 
 __all__ = ["PlatformData", "platform_data", "clear_cache",
@@ -53,9 +54,10 @@ def platform_data(config: ExperimentConfig) -> PlatformData:
         return _DATA_CACHE[key]
     campaign = generate_campaign(CampaignConfig(stride=config.stride))
     traces = run_campaign(config.platform, config.patients, campaign,
-                          n_steps=config.n_steps)
+                          n_steps=config.n_steps, workers=config.workers)
     fault_free = run_fault_free(config.platform, config.patients,
-                                INITIAL_GLUCOSE_VALUES, n_steps=config.n_steps)
+                                INITIAL_GLUCOSE_VALUES, n_steps=config.n_steps,
+                                workers=config.workers)
     by_patient: Dict[str, List] = {pid: [] for pid in config.patients}
     for trace in traces:
         by_patient[trace.patient_id].append(trace)
@@ -73,6 +75,7 @@ def clear_cache() -> None:
     """Drop all cached simulations and models (tests / memory control)."""
     _DATA_CACHE.clear()
     _ML_CACHE.clear()
+    BASELINE_CACHE.clear()
 
 
 # ----------------------------------------------------------------------

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import time
 
-from ..core import cawot_monitor, cawt_monitor
+from ..core import cawt_monitor
 from ..simulation import iter_contexts
 from .config import ExperimentConfig
 from .data import baseline_monitors, cawt_full_thresholds, ml_monitors, platform_data

@@ -12,7 +12,6 @@ from typing import Dict
 
 from ..baselines import MPCMonitor
 from ..core import FixedMitigator, cawt_monitor
-from ..core.monitor import SafetyMonitor
 from ..fi import CampaignConfig, generate_campaign
 from ..metrics import mitigation_outcome
 from ..simulation import run_campaign
@@ -51,7 +50,8 @@ def run_table7(config: ExperimentConfig,
     for name, factory in monitor_factories.items():
         mitigated = run_campaign(config.platform, config.patients, campaign,
                                  monitor_factory=factory, mitigator=mitigator,
-                                 n_steps=config.n_steps)
+                                 n_steps=config.n_steps,
+                                 workers=config.workers)
         outcome = mitigation_outcome(name, data.traces, mitigated)
         result.rows.append((name, outcome.recovery_rate, outcome.new_hazards,
                             outcome.average_risk, outcome.baseline_hazards))

@@ -8,7 +8,7 @@ k = 6 five-minute cycles, hidden sizes 128 and 64 (Section V-C4).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

@@ -30,7 +30,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from .base import GLUCOSE_FLOOR, Meal, PatientModel, rk4_step, UU_PER_UNIT
+from .base import GLUCOSE_FLOOR, PatientModel, rk4_step, UU_PER_UNIT
 
 __all__ = ["IVPParams", "IVPPatient", "GLUCOSYM_COHORT", "glucosym_patient"]
 

@@ -8,6 +8,25 @@ from .batch import (
     run_campaign,
     run_fault_free,
 )
+from .executor import (
+    BASELINE_CACHE,
+    PROFILE_CACHE,
+    BaselineCache,
+    CampaignExecutor,
+    CampaignPlan,
+    CountingSink,
+    ListSink,
+    NpzDirectorySink,
+    ParallelExecutor,
+    ProfileCache,
+    SerialExecutor,
+    SimRun,
+    TraceSink,
+    get_executor,
+    plan_campaign,
+    plan_fault_free,
+    shard_plan,
+)
 from .loop import ClosedLoop
 from .replay import iter_contexts, replay_many, replay_monitor
 from .scenario import Scenario
@@ -20,6 +39,23 @@ __all__ = [
     "make_loop",
     "run_campaign",
     "run_fault_free",
+    "BASELINE_CACHE",
+    "PROFILE_CACHE",
+    "BaselineCache",
+    "CampaignExecutor",
+    "CampaignPlan",
+    "CountingSink",
+    "ListSink",
+    "NpzDirectorySink",
+    "ParallelExecutor",
+    "ProfileCache",
+    "SerialExecutor",
+    "SimRun",
+    "TraceSink",
+    "get_executor",
+    "plan_campaign",
+    "plan_fault_free",
+    "shard_plan",
     "ClosedLoop",
     "iter_contexts",
     "replay_many",

@@ -4,7 +4,9 @@ The paper evaluates two platforms (Fig. 5a): OpenAPS + Glucosym and
 Basal-Bolus + UVA-Padova T1DS2013.  :func:`make_loop` builds the matched
 patient/controller pair for a cohort member (controller profile derived from
 the patient's steady-state basal via the 1800 rule), and :func:`run_campaign`
-executes a fault-injection campaign over one or more patients.
+executes a fault-injection campaign over one or more patients — serially by
+default, or fanned out over a process pool via the executors in
+:mod:`repro.simulation.executor`.
 """
 
 from __future__ import annotations
@@ -16,8 +18,10 @@ from ..core.mitigation import Mitigator
 from ..core.monitor import SafetyMonitor
 from ..fi import FaultInjector, InjectionScenario
 from ..patients import PatientModel, make_patient
+from .executor import (BASELINE_CACHE, PROFILE_CACHE, BaselineCache,
+                       CampaignExecutor, CampaignPlan, TraceSink,
+                       get_executor, plan_campaign, plan_fault_free)
 from .loop import ClosedLoop
-from .scenario import Scenario
 from .trace import SimulationTrace
 
 __all__ = ["controller_profile", "make_controller", "make_loop",
@@ -25,9 +29,6 @@ __all__ = ["controller_profile", "make_controller", "make_loop",
 
 #: platform -> controller factory
 _PLATFORM_CONTROLLERS = {"glucosym": "openaps", "t1ds2013": "basal-bolus"}
-
-
-_PROFILE_CACHE: Dict[tuple, Dict[str, float]] = {}
 
 
 def empirical_isf(patient: PatientModel, target: float = 120.0,
@@ -52,13 +53,13 @@ def empirical_isf(patient: PatientModel, target: float = 120.0,
 def controller_profile(patient: PatientModel,
                        target: float = 120.0) -> Dict[str, float]:
     """Controller profile for *patient*: steady-state basal plus the
-    empirically titrated ISF (cached per patient model and target)."""
-    key = (patient.name, target)
-    if key not in _PROFILE_CACHE:
-        basal = patient.basal_rate(target)
-        isf = empirical_isf(patient, target)
-        _PROFILE_CACHE[key] = {"basal": basal, "isf": isf, "target": target}
-    return dict(_PROFILE_CACHE[key])
+    empirically titrated ISF (cached per patient model and target in the
+    process-wide :data:`~repro.simulation.executor.PROFILE_CACHE`)."""
+    def compute() -> Dict[str, float]:
+        return {"basal": patient.basal_rate(target),
+                "isf": empirical_isf(patient, target), "target": target}
+
+    return PROFILE_CACHE.get_or_compute((patient.name, target), compute)
 
 
 def make_controller(platform: str, patient: PatientModel,
@@ -93,7 +94,10 @@ def run_campaign(platform: str, patient_ids: Sequence[str],
                  scenarios: Iterable[InjectionScenario],
                  monitor_factory: Optional[Callable[[str], SafetyMonitor]] = None,
                  mitigator: Optional[Mitigator] = None,
-                 n_steps: int = 150) -> List[SimulationTrace]:
+                 n_steps: int = 150,
+                 workers: Optional[int] = None,
+                 executor: Optional[CampaignExecutor] = None,
+                 sink: Optional[TraceSink] = None) -> Optional[List[SimulationTrace]]:
     """Run every injection scenario against every patient.
 
     Parameters
@@ -103,38 +107,73 @@ def run_campaign(platform: str, patient_ids: Sequence[str],
         monitor per patient; None runs without a monitor.
     mitigator:
         Shared mitigation strategy (only active when a monitor alerts).
+    workers:
+        Process-pool size; 1 (the default, also via ``REPRO_WORKERS``)
+        runs serially in-process.  Trace order and content are identical
+        for every worker count.
+    executor:
+        Explicit :class:`~repro.simulation.executor.CampaignExecutor`
+        (overrides *workers*).
+    sink:
+        Optional :class:`~repro.simulation.executor.TraceSink`; when given,
+        traces are streamed to it in (patient, scenario) order and ``None``
+        is returned instead of an in-memory list.
 
     Returns
     -------
-    list of SimulationTrace, ordered by (patient, scenario).
+    list of SimulationTrace ordered by (patient, scenario), or None when
+    streaming to *sink*.
     """
-    scenarios = list(scenarios)
-    traces: List[SimulationTrace] = []
-    for pid in patient_ids:
-        monitor = monitor_factory(pid) if monitor_factory else None
-        loop = make_loop(platform, pid, monitor=monitor, mitigator=mitigator)
-        for scn in scenarios:
-            loop.injector = FaultInjector(scn.fault)
-            sim = Scenario(init_glucose=scn.init_glucose, n_steps=n_steps,
-                           label=scn.label)
-            traces.append(loop.run(sim))
-    return traces
+    plan = plan_campaign(platform, patient_ids, scenarios, n_steps=n_steps)
+    executor = executor or get_executor(workers)
+    return executor.run(plan, monitor_factory=monitor_factory,
+                        mitigator=mitigator, sink=sink)
 
 
 def run_fault_free(platform: str, patient_ids: Sequence[str],
                    init_glucose_values: Sequence[float],
                    monitor_factory: Optional[Callable[[str], SafetyMonitor]] = None,
-                   n_steps: int = 150) -> List[SimulationTrace]:
-    """Fault-free reference runs over the same initial-glucose grid."""
-    traces: List[SimulationTrace] = []
-    for pid in patient_ids:
-        monitor = monitor_factory(pid) if monitor_factory else None
-        loop = make_loop(platform, pid, monitor=monitor)
-        for init_bg in init_glucose_values:
-            sim = Scenario(init_glucose=init_bg, n_steps=n_steps,
-                           label=f"fault-free/bg{init_bg:g}")
-            traces.append(loop.run(sim))
-    return traces
+                   n_steps: int = 150,
+                   workers: Optional[int] = None,
+                   executor: Optional[CampaignExecutor] = None,
+                   cache: Optional[BaselineCache] = BASELINE_CACHE,
+                   sink: Optional[TraceSink] = None) -> Optional[List[SimulationTrace]]:
+    """Fault-free reference runs over the same initial-glucose grid.
+
+    Unmonitored baselines are served from (and written back to) *cache* —
+    keyed by platform/patient/initial BG/step count — so repeated
+    experiments never resimulate the same reference runs.  Pass
+    ``cache=None`` to force fresh simulation; runs with a monitor are
+    never cached because the monitor's alerts are part of the trace.
+
+    Note that an enabled cache retains every baseline trace by design, so
+    bounded-memory streaming (*sink* with O(chunk) residency) requires
+    ``cache=None``; with caching on, the sink still receives the traces
+    in plan order but memory is O(grid) either way.
+    """
+    plan = plan_fault_free(platform, patient_ids, init_glucose_values,
+                           n_steps=n_steps)
+    executor = executor or get_executor(workers)
+    if monitor_factory is not None or cache is None:
+        return executor.run(plan, monitor_factory=monitor_factory, sink=sink)
+
+    keys = [BaselineCache.key(platform, run.patient_id, run.init_glucose,
+                              n_steps) for run in plan.runs]
+    traces = [cache.get(key) for key in keys]
+    missing = [i for i, trace in enumerate(traces) if trace is None]
+    if missing:
+        sub_plan = CampaignPlan(platform=platform,
+                                runs=tuple(plan.runs[i] for i in missing),
+                                n_steps=n_steps)
+        fresh = executor.run(sub_plan)
+        for i, trace in zip(missing, fresh):
+            cache.put(keys[i], trace)
+            traces[i] = trace
+    if sink is None:
+        return traces
+    for trace in traces:
+        sink.write(trace)
+    return None
 
 
 def kfold_split(items: Sequence, k: int, fold: int):

@@ -1,0 +1,509 @@
+"""Parallel campaign execution engine.
+
+The paper's evaluation grid is 882 fault injections per patient across a
+20-patient, two-platform cohort (Section V-B) — embarrassingly parallel
+work that the original ``run_campaign`` executed serially in one process.
+This module supplies the machinery to fan that grid out over a worker pool
+while keeping the output *byte-identical* to the serial loop:
+
+- :func:`plan_campaign` / :func:`plan_fault_free` normalise a campaign into
+  an immutable :class:`CampaignPlan` — a flat, patient-major tuple of
+  :class:`SimRun` cells;
+- :func:`shard_plan` cuts the plan into deterministic contiguous chunks;
+- :class:`SerialExecutor` and :class:`ParallelExecutor` share the
+  :class:`CampaignExecutor` interface.  The parallel executor forks a
+  ``multiprocessing`` pool (fork start method, so unpicklable monitor
+  factories are inherited, not serialised) and merges chunk results in
+  stable (patient, scenario) order;
+- :class:`ProfileCache` and :class:`BaselineCache` hold the expensive
+  shared artifacts (titrated controller profiles, fault-free reference
+  traces) in explicit, lock-guarded objects that forked workers warm
+  independently;
+- :class:`TraceSink` and friends stream traces out of memory so
+  million-trace campaigns never hold every :class:`SimulationTrace` at
+  once.
+
+Every execution path funnels through the same per-chunk runner, so worker
+count never changes the simulated dynamics — only the wall-clock time.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+import multiprocessing
+import os
+import threading
+import warnings
+from collections import deque
+from dataclasses import dataclass
+from typing import (Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple)
+
+import numpy as np
+
+from ..core.mitigation import Mitigator
+from ..core.monitor import SafetyMonitor
+from ..fi import FaultInjector, FaultSpec, InjectionScenario
+from .scenario import Scenario
+from .trace import SimulationTrace
+
+__all__ = [
+    "SimRun", "CampaignPlan", "plan_campaign", "plan_fault_free",
+    "shard_plan", "ProfileCache", "BaselineCache", "PROFILE_CACHE",
+    "BASELINE_CACHE", "TraceSink", "ListSink", "CountingSink",
+    "NpzDirectorySink", "CampaignExecutor", "SerialExecutor",
+    "ParallelExecutor", "get_executor",
+]
+
+MonitorFactory = Callable[[str], SafetyMonitor]
+
+
+# ----------------------------------------------------------------------
+# plans: the normalised (patient x scenario) grid
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SimRun:
+    """One cell of the campaign grid: a patient plus one simulation spec."""
+
+    patient_id: str
+    init_glucose: float
+    label: str
+    fault: Optional[FaultSpec] = None
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """An immutable, patient-major execution plan.
+
+    The run order *is* the output order: executors must return (or stream)
+    traces exactly in ``plan.runs`` order, whatever the worker count.
+    """
+
+    platform: str
+    runs: Tuple[SimRun, ...]
+    n_steps: int = 150
+    target: float = 120.0
+
+    def __post_init__(self):
+        if self.n_steps < 1:
+            raise ValueError(f"n_steps must be >= 1, got {self.n_steps}")
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+
+def plan_campaign(platform: str, patient_ids: Sequence[str],
+                  scenarios: Iterable[InjectionScenario],
+                  n_steps: int = 150) -> CampaignPlan:
+    """Plan a fault-injection campaign: every scenario against every patient."""
+    scenarios = tuple(scenarios)
+    runs = tuple(SimRun(patient_id=pid, init_glucose=scn.init_glucose,
+                        label=scn.label, fault=scn.fault)
+                 for pid in patient_ids for scn in scenarios)
+    return CampaignPlan(platform=platform, runs=runs, n_steps=n_steps)
+
+
+def plan_fault_free(platform: str, patient_ids: Sequence[str],
+                    init_glucose_values: Sequence[float],
+                    n_steps: int = 150) -> CampaignPlan:
+    """Plan the fault-free reference runs over the initial-glucose grid."""
+    runs = tuple(SimRun(patient_id=pid, init_glucose=float(bg),
+                        label=f"fault-free/bg{bg:g}", fault=None)
+                 for pid in patient_ids for bg in init_glucose_values)
+    return CampaignPlan(platform=platform, runs=runs, n_steps=n_steps)
+
+
+def shard_plan(plan: CampaignPlan,
+               n_chunks: int) -> List[Tuple[SimRun, ...]]:
+    """Cut ``plan.runs`` into at most *n_chunks* contiguous chunks.
+
+    Chunk boundaries depend only on ``(len(plan), n_chunks)``, so sharding
+    is deterministic, and concatenating the chunks always reproduces the
+    original run order.  Chunk sizes differ by at most one.
+    """
+    if n_chunks < 1:
+        raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+    n = len(plan.runs)
+    n_chunks = min(n_chunks, n) or 1
+    base, extra = divmod(n, n_chunks)
+    chunks: List[Tuple[SimRun, ...]] = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        chunks.append(plan.runs[start:start + size])
+        start += size
+    return chunks
+
+
+# ----------------------------------------------------------------------
+# caches
+# ----------------------------------------------------------------------
+
+class ProfileCache:
+    """Lock-guarded cache of titrated controller profiles.
+
+    Replaces the former ad-hoc module-global ``_PROFILE_CACHE`` dict in
+    :mod:`repro.simulation.batch`.  Each process owns its instance: forked
+    workers inherit whatever the parent warmed before the fork and fill in
+    the rest independently, so there is no cross-process coordination to
+    get wrong.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._profiles: Dict[tuple, Dict[str, float]] = {}
+
+    def get_or_compute(self, key: tuple,
+                       compute: Callable[[], Dict[str, float]]) -> Dict[str, float]:
+        """Cached profile for *key*, computing (under the lock) on a miss."""
+        with self._lock:
+            if key not in self._profiles:
+                self._profiles[key] = compute()
+            return dict(self._profiles[key])
+
+    def clear(self) -> None:
+        with self._lock:
+            self._profiles.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._profiles)
+
+
+class BaselineCache:
+    """Cache of fault-free baseline traces.
+
+    Keyed by ``(platform, patient_id, init_glucose, n_steps)`` — the full
+    identity of a monitor-less, mitigation-less fault-free run.  Campaign
+    code consults it before simulating so the same baselines are never
+    recomputed across experiments; forked workers inherit the parent's warm
+    entries and can warm their own copies independently.
+
+    Only unmonitored runs are cacheable: a monitor changes the recorded
+    alert channels, so those traces are never served from here.
+    """
+
+    @staticmethod
+    def key(platform: str, patient_id: str, init_glucose: float,
+            n_steps: int) -> tuple:
+        return (platform, patient_id, float(init_glucose), int(n_steps))
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._traces: Dict[tuple, SimulationTrace] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> Optional[SimulationTrace]:
+        with self._lock:
+            trace = self._traces.get(key)
+            if trace is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return trace
+
+    def put(self, key: tuple, trace: SimulationTrace) -> None:
+        with self._lock:
+            self._traces[key] = trace
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+            self.hits = self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def __contains__(self, key: tuple) -> bool:
+        with self._lock:
+            return key in self._traces
+
+
+#: process-wide default instances (one per process; fork inherits them warm)
+PROFILE_CACHE = ProfileCache()
+BASELINE_CACHE = BaselineCache()
+
+
+# ----------------------------------------------------------------------
+# trace sinks: stream results instead of accumulating them
+# ----------------------------------------------------------------------
+
+class TraceSink(abc.ABC):
+    """Consumer of a stable-ordered trace stream.
+
+    Executors call :meth:`write` once per completed run, in exact plan
+    order.  The *caller* owns the sink's lifecycle — use it as a context
+    manager (or call :meth:`close`) so one sink can absorb several
+    campaigns before flushing.  Sinks let arbitrarily large campaigns run
+    in bounded memory: the executor drops each chunk after handing it over.
+    """
+
+    @abc.abstractmethod
+    def write(self, trace: SimulationTrace) -> None:
+        """Consume one trace."""
+
+    def close(self) -> None:
+        """Flush/finalise (default: nothing)."""
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ListSink(TraceSink):
+    """Accumulate traces in memory (the classic return-a-list behaviour)."""
+
+    def __init__(self):
+        self.traces: List[SimulationTrace] = []
+
+    def write(self, trace: SimulationTrace) -> None:
+        self.traces.append(trace)
+
+
+class CountingSink(TraceSink):
+    """Keep only aggregate statistics — O(1) memory for any campaign size."""
+
+    def __init__(self):
+        self.n_traces = 0
+        self.n_hazardous = 0
+        self.n_alerting = 0
+
+    def write(self, trace: SimulationTrace) -> None:
+        self.n_traces += 1
+        self.n_hazardous += int(trace.hazardous)
+        self.n_alerting += int(bool(trace.alert.any()))
+
+    @property
+    def hazard_fraction(self) -> float:
+        return self.n_hazardous / self.n_traces if self.n_traces else 0.0
+
+
+class NpzDirectorySink(TraceSink):
+    """Stream each trace to ``<directory>/trace_<index>.npz``.
+
+    Array channels are stored as-is; identity metadata (platform, patient,
+    label, dt and the fault spec fields) ride along as 0-d object-free
+    entries so a trace file is self-describing.
+    """
+
+    _ARRAY_FIELDS = ("t", "true_bg", "cgm", "reading", "ctrl_rate",
+                     "ctrl_bolus", "cmd_rate", "cmd_bolus", "action", "iob",
+                     "iob_rate", "final_rate", "final_bolus",
+                     "delivered_rate", "delivered_bolus", "alert",
+                     "alert_hazard", "mitigated")
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        stale = [name for name in os.listdir(directory)
+                 if name.startswith("trace_") and name.endswith(".npz")]
+        if stale:
+            raise FileExistsError(
+                f"{directory} already holds {len(stale)} trace file(s); "
+                "writing would intermix two campaigns — use a fresh "
+                "directory or remove them first")
+        self.n_written = 0
+
+    def write(self, trace: SimulationTrace) -> None:
+        payload = {name: getattr(trace, name) for name in self._ARRAY_FIELDS}
+        payload["platform"] = np.array(trace.platform)
+        payload["patient_id"] = np.array(trace.patient_id)
+        payload["label"] = np.array(trace.label)
+        payload["dt"] = np.array(trace.dt)
+        if trace.fault is not None:
+            payload["fault_kind"] = np.array(trace.fault.kind.value)
+            payload["fault_target"] = np.array(trace.fault.target.value)
+            payload["fault_start"] = np.array(trace.fault.start_step)
+            payload["fault_duration"] = np.array(trace.fault.duration_steps)
+            payload["fault_value"] = np.array(trace.fault.value)
+        path = os.path.join(self.directory, f"trace_{self.n_written:09d}.npz")
+        np.savez_compressed(path, **payload)
+        self.n_written += 1
+
+
+# ----------------------------------------------------------------------
+# the shared chunk runner
+# ----------------------------------------------------------------------
+
+def _run_chunk(plan: CampaignPlan, runs: Sequence[SimRun],
+               monitor_factory: Optional[MonitorFactory],
+               mitigator: Optional[Mitigator]) -> List[SimulationTrace]:
+    """Execute a contiguous slice of the plan, reusing one loop per patient.
+
+    This is the *only* place simulations happen — serial executor, parallel
+    workers and cache-warming all call it, which is what guarantees that
+    worker count cannot change the simulated dynamics.
+    """
+    from .batch import make_loop  # deferred: batch imports this module too
+
+    traces: List[SimulationTrace] = []
+    loop = None
+    current_pid: Optional[str] = None
+    for run in runs:
+        if loop is None or run.patient_id != current_pid:
+            monitor = monitor_factory(run.patient_id) if monitor_factory else None
+            loop = make_loop(plan.platform, run.patient_id, monitor=monitor,
+                             mitigator=mitigator, target=plan.target)
+            current_pid = run.patient_id
+        loop.injector = (FaultInjector(run.fault)
+                         if run.fault is not None else None)
+        sim = Scenario(init_glucose=run.init_glucose, n_steps=plan.n_steps,
+                       label=run.label)
+        traces.append(loop.run(sim))
+    return traces
+
+
+# ----------------------------------------------------------------------
+# executors
+# ----------------------------------------------------------------------
+
+class CampaignExecutor(abc.ABC):
+    """Executes a :class:`CampaignPlan`, preserving plan order exactly."""
+
+    @abc.abstractmethod
+    def map_chunks(self, plan: CampaignPlan,
+                   monitor_factory: Optional[MonitorFactory],
+                   mitigator: Optional[Mitigator]
+                   ) -> Iterable[List[SimulationTrace]]:
+        """Yield per-chunk trace lists, in plan order."""
+
+    def run(self, plan: CampaignPlan,
+            monitor_factory: Optional[MonitorFactory] = None,
+            mitigator: Optional[Mitigator] = None,
+            sink: Optional[TraceSink] = None
+            ) -> Optional[List[SimulationTrace]]:
+        """Execute the plan.
+
+        Without a sink, returns the full trace list in plan order.  With a
+        sink, each trace is streamed to ``sink.write`` as its chunk
+        completes (still in plan order), memory stays bounded by the chunk
+        size, and ``None`` is returned.
+        """
+        if sink is None:
+            collected: List[SimulationTrace] = []
+            for chunk_traces in self.map_chunks(plan, monitor_factory,
+                                                mitigator):
+                collected.extend(chunk_traces)
+            return collected
+        for chunk_traces in self.map_chunks(plan, monitor_factory, mitigator):
+            for trace in chunk_traces:
+                sink.write(trace)
+        return None
+
+
+class SerialExecutor(CampaignExecutor):
+    """Single-process reference executor (the original semantics).
+
+    The whole plan is one chunk, so — exactly like the historical serial
+    loop — the monitor factory is invoked once per patient and one
+    :class:`~repro.simulation.loop.ClosedLoop` is reused across a patient's
+    scenarios.
+    """
+
+    def map_chunks(self, plan, monitor_factory, mitigator):
+        yield _run_chunk(plan, plan.runs, monitor_factory, mitigator)
+
+
+#: fork-inherited state for pool workers — set immediately before the pool
+#: forks, cleared right after; never pickled, so unpicklable monitor
+#: factories (closures, lambdas, trained models) travel for free.  The lock
+#: serialises the assign-then-fork critical section so two threads running
+#: parallel campaigns can neither fork the other's plan nor fork None.
+_WORKER_STATE: Optional[tuple] = None
+_WORKER_STATE_LOCK = threading.Lock()
+
+
+def _worker_run_chunk(chunk_index: int):
+    plan, chunks, monitor_factory, mitigator = _WORKER_STATE
+    return _run_chunk(plan, chunks[chunk_index], monitor_factory, mitigator)
+
+
+class ParallelExecutor(CampaignExecutor):
+    """Fan the plan out over a forked ``multiprocessing`` pool.
+
+    Parameters
+    ----------
+    workers:
+        Pool size (defaults to the machine's CPU count).
+    chunks_per_worker:
+        Oversharding factor: the plan is cut into
+        ``workers * chunks_per_worker`` chunks so stragglers (patients
+        whose profile titration is cold, long fault durations) re-balance.
+    start_method:
+        Forced multiprocessing start method.  Only ``"fork"`` supports
+        unpicklable monitor factories; on platforms without fork the
+        executor degrades to in-process serial execution with a warning.
+
+    Chunk results are collected strictly in submission order from a
+    bounded window of in-flight tasks, so the trace stream is element-wise
+    identical to :class:`SerialExecutor`'s and parent-side memory stays
+    proportional to ``workers``, not campaign size.
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 chunks_per_worker: int = 4,
+                 start_method: str = "fork"):
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunks_per_worker < 1:
+            raise ValueError(
+                f"chunks_per_worker must be >= 1, got {chunks_per_worker}")
+        self.workers = workers or (os.cpu_count() or 1)
+        self.chunks_per_worker = chunks_per_worker
+        self.start_method = start_method
+
+    def map_chunks(self, plan, monitor_factory, mitigator):
+        global _WORKER_STATE
+        if (self.workers <= 1 or len(plan) <= 1
+                or self.start_method not in
+                multiprocessing.get_all_start_methods()):
+            if self.start_method not in multiprocessing.get_all_start_methods():
+                warnings.warn(
+                    f"start method {self.start_method!r} unavailable; "
+                    "falling back to serial execution", RuntimeWarning,
+                    stacklevel=3)
+            yield _run_chunk(plan, plan.runs, monitor_factory, mitigator)
+            return
+
+        chunks = shard_plan(plan, self.workers * self.chunks_per_worker)
+        ctx = multiprocessing.get_context(self.start_method)
+        # fork pools spawn their workers eagerly in the constructor, so the
+        # shared state only needs to exist across the assign-then-fork
+        # window; the lock keeps concurrent campaigns from interleaving it
+        with _WORKER_STATE_LOCK:
+            _WORKER_STATE = (plan, chunks, monitor_factory, mitigator)
+            try:
+                pool = ctx.Pool(processes=min(self.workers, len(chunks)))
+            finally:
+                _WORKER_STATE = None
+        with pool:
+            # bounded submission window: at most 2 finished-but-unread
+            # chunks per worker sit in the parent, so a slow consumer
+            # (e.g. a compressing sink) cannot make results pile up
+            window = 2 * self.workers
+            pending: deque = deque()
+            indices = iter(range(len(chunks)))
+            for i in itertools.islice(indices, window):
+                pending.append(pool.apply_async(_worker_run_chunk, (i,)))
+            while pending:
+                chunk_traces = pending.popleft().get()
+                for i in itertools.islice(indices, 1):
+                    pending.append(pool.apply_async(_worker_run_chunk, (i,)))
+                yield chunk_traces
+
+
+def get_executor(workers: Optional[int] = None) -> CampaignExecutor:
+    """Executor for *workers* processes (None: ``REPRO_WORKERS`` env, or 1)."""
+    if workers is None:
+        workers = int(os.environ.get("REPRO_WORKERS", "1"))
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers == 1:
+        return SerialExecutor()
+    return ParallelExecutor(workers=workers)

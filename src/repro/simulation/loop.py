@@ -80,6 +80,8 @@ class ClosedLoop:
             self.injector.reset()
         if self.monitor is not None:
             self.monitor.reset()
+        if self.mitigator is not None:
+            self.mitigator.reset()
         for meal in scenario.meals:
             self.patient.add_meal(meal)
 
@@ -102,9 +104,12 @@ class ClosedLoop:
             reading = cgm
             if self.injector is not None:
                 reading = self.injector.corrupt_reading(cgm, step)
-                current = step  # bind the loop variable for the closure
-                self.controller.iob_tamper = (
-                    lambda iob, s=current: self.injector.corrupt_iob(iob, s))
+
+                # default args bind the current step and injector
+                def tamper(iob, s=step, injector=self.injector):
+                    return injector.corrupt_iob(iob, s)
+
+                self.controller.iob_tamper = tamper
             decision = self.controller.decide(reading, t)
             cmd_rate, cmd_bolus = decision.basal, decision.bolus
             if self.injector is not None:

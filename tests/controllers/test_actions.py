@@ -1,6 +1,5 @@
 """Tests for the control-action taxonomy (u1..u4)."""
 
-import pytest
 
 from repro.controllers import ControlAction, classify_action
 

@@ -5,7 +5,7 @@ import pytest
 from repro.controllers import ControlAction
 from repro.core import ContextVector, HMSEntry, SafetyContextSpec, UCASEntry
 from repro.hazards import HazardType
-from repro.stl import Globally, Implies, Not, Predicate, Signal, Since, parse
+from repro.stl import Globally, Implies, Not, Signal, Since, parse
 
 
 def ctx(action=ControlAction.KEEP):

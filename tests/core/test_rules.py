@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.controllers import ControlAction
-from repro.core import BG_TARGET, ContextVector, aps_rules, aps_scs, default_thresholds
+from repro.core import ContextVector, aps_rules, aps_scs, default_thresholds
 from repro.core.rules import IOB_RATE_EPS
 from repro.hazards import HazardType
 from repro.stl import Trace, satisfaction

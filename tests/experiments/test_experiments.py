@@ -1,12 +1,10 @@
 """Smoke tests for every experiment module (tiny scale, shared cache)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import (
     ExperimentConfig,
     PRESETS,
-    clear_cache,
     loss_curves,
     platform_data,
     run_adversarial_ablation,
@@ -31,7 +29,7 @@ def cfg():
 
 class TestConfig:
     def test_presets_exist(self):
-        assert set(PRESETS) == {"smoke", "small", "medium", "full"}
+        assert set(PRESETS) == {"smoke", "ci", "small", "medium", "full"}
 
     def test_full_preset_matches_paper_scale(self):
         full = ExperimentConfig.preset("full")

@@ -1,6 +1,5 @@
 """Tests for the fault injector."""
 
-import pytest
 
 from repro.fi import FaultInjector, FaultKind, FaultSpec, FaultTarget
 

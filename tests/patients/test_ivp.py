@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.patients import GLUCOSYM_COHORT, IVPParams, IVPPatient, Meal, glucosym_patient
+from repro.patients import GLUCOSYM_COHORT, IVPParams, Meal, glucosym_patient
 
 
 class TestParams:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.patients import Meal, T1DParams, T1DPatient, T1DS2013_COHORT, t1d_patient
+from repro.patients import Meal, T1DParams, T1DS2013_COHORT, t1d_patient
 from repro.patients.t1d import solve_kp1, _solve_basal_state
 
 

@@ -8,7 +8,6 @@ from repro.simulation import (
     controller_profile,
     kfold_split,
     make_controller,
-    make_loop,
     run_campaign,
     run_fault_free,
 )
@@ -94,3 +93,33 @@ class TestKFold:
             kfold_split([1, 2], k=1, fold=0)
         with pytest.raises(ValueError):
             kfold_split([1, 2], k=2, fold=2)
+
+    def test_k_equals_len_items(self):
+        """Leave-one-out: every fold's test set is exactly one item."""
+        items = list(range(5))
+        covered = []
+        for fold in range(5):
+            train, test = kfold_split(items, k=5, fold=fold)
+            assert test == [fold]
+            assert sorted(train + test) == items
+            covered.extend(test)
+        assert sorted(covered) == items
+
+    def test_items_not_divisible_by_k(self):
+        items = list(range(11))
+        sizes = []
+        covered = []
+        for fold in range(4):
+            train, test = kfold_split(items, k=4, fold=fold)
+            assert sorted(train + test) == items
+            assert set(train).isdisjoint(test)
+            sizes.append(len(test))
+            covered.extend(test)
+        # 11 = 3 + 3 + 3 + 2: fold sizes differ by at most one
+        assert sorted(sizes) == [2, 3, 3, 3]
+        assert sorted(covered) == items
+
+    def test_fewer_items_than_k(self):
+        train, test = kfold_split([1, 2], k=4, fold=3)
+        assert test == []
+        assert train == [1, 2]

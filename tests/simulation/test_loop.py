@@ -3,10 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.core import ContextAwareMonitor, FixedMitigator, cawot_monitor
+from repro.core import FixedMitigator, cawot_monitor
 from repro.fi import FaultInjector, FaultKind, FaultSpec, FaultTarget
 from repro.hazards import HazardType
-from repro.simulation import ClosedLoop, Scenario, make_loop
+from repro.simulation import Scenario, make_loop
 
 
 @pytest.fixture(scope="module")

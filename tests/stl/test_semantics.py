@@ -5,15 +5,9 @@ import pytest
 
 from repro.stl import (
     Atomic,
-    Eventually,
     Globally,
-    Implies,
     Not,
-    Or,
-    Predicate,
     Signal,
-    Since,
-    Until,
     parse,
     robustness,
     satisfaction,

@@ -5,7 +5,6 @@ fault, watch the hazard develop, learn thresholds, detect with CAWT, and
 mitigate with Algorithm 1.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import FixedMitigator, cawt_monitor, learn_thresholds
