@@ -1,23 +1,28 @@
-"""CI smoke check: parallel campaign execution must match serial exactly.
+"""CI smoke check: parallel execution and the on-disk store must be exact.
 
 Runs the ``ci``-scale fault-injection grid through the serial executor and
 through a 2-worker process pool and asserts that the two trace streams are
 element-wise identical (every array channel, every metadata field).  This
-is the determinism guarantee the parallel engine is built on; CI runs it
-on every push so a regression can never land silently.
+is the determinism guarantee the parallel engine is built on.  The same
+traces are then streamed through a :class:`CampaignStoreWriter` into a
+temporary on-disk dataset, lazily reopened as a :class:`TraceDataset` and
+compared element-wise again (plus a plan-fingerprint check), so the
+write-once/replay-many store is covered by the same every-push smoke.
 
 Run:  python scripts/ci_smoke_parallel.py [workers]
 """
 
 import dataclasses
 import sys
+import tempfile
 import time
 
 import numpy as np
 
 from repro.experiments import ExperimentConfig
 from repro.fi import CampaignConfig, generate_campaign
-from repro.simulation import run_campaign
+from repro.simulation import (CampaignStoreWriter, TraceDataset,
+                              plan_campaign, plan_fingerprint, run_campaign)
 
 
 def traces_identical(a, b) -> bool:
@@ -66,6 +71,36 @@ def main() -> int:
               f"({serial[mismatches[0]].label})")
         return 1
     print(f"OK: all {n_expected} traces element-wise identical")
+
+    # dataset-store roundtrip: write -> manifest -> lazy reopen -> compare
+    plan = plan_campaign(config.platform, config.patients, scenarios,
+                         n_steps=config.n_steps)
+    with tempfile.TemporaryDirectory() as root:
+        start = time.perf_counter()
+        with CampaignStoreWriter(root, config.platform, config.n_steps,
+                                 folds=config.folds) as sink:
+            for trace in serial:
+                sink.write(trace)
+        t_write = time.perf_counter() - start
+        dataset = TraceDataset.open(root, cache_size=8)
+        if dataset.fingerprint != plan_fingerprint(plan):
+            print("FAIL: stored fingerprint does not match the campaign plan")
+            return 1
+        start = time.perf_counter()
+        bad = [i for i, (s, d) in enumerate(zip(serial, dataset))
+               if not traces_identical(s, d)]
+        t_read = time.perf_counter() - start
+        if len(dataset) != n_expected or bad:
+            print(f"FAIL: store roundtrip mismatch "
+                  f"({len(bad)} trace(s), {len(dataset)} stored)")
+            return 1
+        if dataset.stats.max_resident > 8:
+            print(f"FAIL: lazy reader held {dataset.stats.max_resident} "
+                  "traces, expected <= its cache window of 8")
+            return 1
+        print(f"store: write {t_write:.2f}s, lazy reread {t_read:.2f}s, "
+              f"max {dataset.stats.max_resident} traces resident — "
+              f"all {n_expected} roundtripped identically")
     return 0
 
 

@@ -7,8 +7,9 @@ code path with the same structure.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from ..patients import patient_ids
 
@@ -44,8 +45,17 @@ class ExperimentConfig:
     seed:
         Seed for ML training.
     workers:
-        Campaign process-pool size (1 = serial).  Traces are identical for
-        every worker count, so this is excluded from :meth:`cache_key`.
+        Process-pool size for campaign simulation, monitor replay and
+        threshold learning (1 = serial).  Results are identical for every
+        worker count, so this is excluded from :meth:`cache_key`.
+    dataset_dir:
+        When set, campaign and fault-free traces are streamed into an
+        on-disk dataset under this root (one subdirectory per
+        :meth:`dataset_slug`) on the first run and lazily reopened —
+        without resimulating — by every later experiment invocation, in
+        this process or the next ("run once, replay many").  Traces are
+        identical to the in-memory path, so this too is excluded from
+        :meth:`cache_key`.
     """
 
     platform: str = "glucosym"
@@ -60,6 +70,7 @@ class ExperimentConfig:
     ml_epochs: int = 12
     seed: int = 0
     workers: int = 1
+    dataset_dir: Optional[str] = None
 
     def __post_init__(self):
         if self.stride < 1 or self.folds < 2 or self.n_steps < 20:
@@ -74,6 +85,16 @@ class ExperimentConfig:
     def cache_key(self) -> tuple:
         """Key identifying the simulation data this config needs."""
         return (self.platform, self.patients, self.stride, self.n_steps)
+
+    def dataset_slug(self) -> str:
+        """Directory name for this config's on-disk dataset (one per
+        simulation grid, shared by every worker count).  The cohort digest
+        keeps two different patient subsets of the same size from
+        colliding on one directory."""
+        cohort = hashlib.sha256(
+            "/".join(self.patients).encode("utf-8")).hexdigest()[:8]
+        return (f"{self.platform}-p{len(self.patients)}-{cohort}"
+                f"-s{self.stride}-n{self.n_steps}")
 
     @classmethod
     def preset(cls, name: str, platform: str = "glucosym",

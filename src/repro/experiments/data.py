@@ -6,12 +6,24 @@ and can be *replayed*, see :mod:`repro.simulation.replay`), the fault-free
 reference runs, per-patient CAWT thresholds, and the trained ML baselines.
 This module builds and memoises them so the whole table/figure suite costs
 one campaign per platform.
+
+Two backing modes, selected by ``ExperimentConfig.dataset_dir``:
+
+- **in-memory** (default): traces live in lists for the process lifetime;
+- **on-disk**: the campaign is streamed through a
+  :class:`~repro.simulation.store.CampaignStoreWriter` on first run and
+  lazily reopened as a :class:`~repro.simulation.store.TraceDataset` by
+  every later invocation — including in *other* processes — so a grid is
+  simulated once and replayed many times ("run once, replay many").  A
+  fingerprint check guarantees the directory actually holds the campaign
+  the config describes.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -20,8 +32,11 @@ from ..core import cawot_monitor, cawt_monitor, learn_thresholds
 from ..core.monitor import SafetyMonitor
 from ..fi import CampaignConfig, INITIAL_GLUCOSE_VALUES, generate_campaign
 from ..ml import train_dt_monitor, train_lstm_monitor, train_mlp_monitor
-from ..simulation import (BASELINE_CACHE, kfold_split, replay_many,
-                          run_campaign, run_fault_free)
+from ..simulation import (BASELINE_CACHE, CampaignStoreError,
+                          CampaignStoreWriter, TraceDataset, kfold_split,
+                          plan_campaign, plan_fault_free, plan_fingerprint,
+                          replay_many, run_campaign, run_fault_free)
+from ..simulation.store import manifest_path
 from .config import ExperimentConfig
 
 __all__ = ["PlatformData", "platform_data", "clear_cache",
@@ -34,39 +49,111 @@ _ML_CACHE: Dict[tuple, Dict[str, SafetyMonitor]] = {}
 
 @dataclass
 class PlatformData:
-    """Campaign + fault-free traces for one (platform, scale) choice."""
+    """Campaign + fault-free traces for one (platform, scale) choice.
+
+    ``traces`` / ``fault_free`` are in-memory lists by default, or lazy
+    :class:`~repro.simulation.store.TraceDataset` sequences when the config
+    carries a ``dataset_dir`` — every consumer treats them uniformly as
+    sequences in (patient, scenario) plan order.
+    """
 
     config: ExperimentConfig
-    traces: List            # faulty campaign traces, patient-major order
-    fault_free: List        # fault-free runs over the init-BG grid
-    by_patient: Dict[str, List]
-    fault_free_by_patient: Dict[str, List]
+    traces: Sequence            # faulty campaign traces, patient-major order
+    fault_free: Sequence        # fault-free runs over the init-BG grid
+    by_patient: Dict[str, Sequence]
+    fault_free_by_patient: Dict[str, Sequence]
 
     @property
     def hazard_fraction(self) -> float:
         return sum(t.hazardous for t in self.traces) / len(self.traces)
 
 
-def platform_data(config: ExperimentConfig) -> PlatformData:
-    """Simulate (or fetch cached) campaign data for *config*."""
-    key = config.cache_key()
-    if key in _DATA_CACHE:
-        return _DATA_CACHE[key]
+def _group_by_patient(traces: Sequence,
+                      patients: Sequence[str]) -> Dict[str, List]:
+    grouped: Dict[str, List] = {pid: [] for pid in patients}
+    for trace in traces:
+        grouped[trace.patient_id].append(trace)
+    return grouped
+
+
+def _ensure_store(directory: str, plan, folds: int,
+                  simulate: Callable[[CampaignStoreWriter], None]
+                  ) -> TraceDataset:
+    """Open the dataset at *directory*, writing it first if absent.
+
+    The reopened dataset's fingerprint must match the plan's — a mismatch
+    means the directory holds some *other* campaign and is an error, not
+    something to silently overwrite.
+    """
+    expected = plan_fingerprint(plan)
+    if not os.path.exists(manifest_path(directory)):
+        with CampaignStoreWriter(directory, plan.platform, plan.n_steps,
+                                 folds=folds) as sink:
+            simulate(sink)
+    dataset = TraceDataset.open(directory)
+    if dataset.fingerprint != expected:
+        raise CampaignStoreError(
+            f"dataset at {directory} holds a different campaign "
+            f"(fingerprint {dataset.fingerprint[:12]}..., expected "
+            f"{expected[:12]}...); point dataset_dir elsewhere or remove "
+            "the stale directory")
+    if dataset.folds != folds:
+        raise CampaignStoreError(
+            f"dataset at {directory} was written with "
+            f"folds={dataset.folds} but the config expects folds={folds}; "
+            "its recorded fold keys would describe the wrong split — use "
+            "a different dataset_dir or remove the stale directory")
+    return dataset
+
+
+def _store_backed_data(config: ExperimentConfig) -> PlatformData:
+    """Run-once/replay-many: stream the grid to disk, reopen lazily."""
+    root = os.path.join(config.dataset_dir, config.dataset_slug())
+    scenarios = generate_campaign(CampaignConfig(stride=config.stride))
+    campaign_plan = plan_campaign(config.platform, config.patients,
+                                  scenarios, n_steps=config.n_steps)
+    ff_plan = plan_fault_free(config.platform, config.patients,
+                              INITIAL_GLUCOSE_VALUES, n_steps=config.n_steps)
+    traces = _ensure_store(
+        os.path.join(root, "campaign"), campaign_plan, config.folds,
+        lambda sink: run_campaign(config.platform, config.patients,
+                                  scenarios, n_steps=config.n_steps,
+                                  workers=config.workers, sink=sink))
+    fault_free = _ensure_store(
+        os.path.join(root, "fault_free"), ff_plan, config.folds,
+        lambda sink: run_fault_free(config.platform, config.patients,
+                                    INITIAL_GLUCOSE_VALUES,
+                                    n_steps=config.n_steps,
+                                    workers=config.workers, sink=sink))
+    return PlatformData(
+        config=config, traces=traces, fault_free=fault_free,
+        by_patient={pid: traces.by_patient(pid) for pid in config.patients},
+        fault_free_by_patient={pid: fault_free.by_patient(pid)
+                               for pid in config.patients})
+
+
+def _in_memory_data(config: ExperimentConfig) -> PlatformData:
     campaign = generate_campaign(CampaignConfig(stride=config.stride))
     traces = run_campaign(config.platform, config.patients, campaign,
                           n_steps=config.n_steps, workers=config.workers)
     fault_free = run_fault_free(config.platform, config.patients,
                                 INITIAL_GLUCOSE_VALUES, n_steps=config.n_steps,
                                 workers=config.workers)
-    by_patient: Dict[str, List] = {pid: [] for pid in config.patients}
-    for trace in traces:
-        by_patient[trace.patient_id].append(trace)
-    ff_by_patient: Dict[str, List] = {pid: [] for pid in config.patients}
-    for trace in fault_free:
-        ff_by_patient[trace.patient_id].append(trace)
-    data = PlatformData(config=config, traces=traces, fault_free=fault_free,
-                        by_patient=by_patient,
-                        fault_free_by_patient=ff_by_patient)
+    return PlatformData(
+        config=config, traces=traces, fault_free=fault_free,
+        by_patient=_group_by_patient(traces, config.patients),
+        fault_free_by_patient=_group_by_patient(fault_free, config.patients))
+
+
+def platform_data(config: ExperimentConfig) -> PlatformData:
+    """Simulate (or fetch cached / stored) campaign data for *config*."""
+    key = config.cache_key() + (config.dataset_dir,)
+    if key in _DATA_CACHE:
+        return _DATA_CACHE[key]
+    if config.dataset_dir:
+        data = _store_backed_data(config)
+    else:
+        data = _in_memory_data(config)
     _DATA_CACHE[key] = data
     return data
 
@@ -96,13 +183,15 @@ def cawt_cv_replay(data: PlatformData,
     alerts: List[np.ndarray] = []
     for pid in config.patients:
         patient_traces = data.by_patient[pid]
-        ff = data.fault_free_by_patient[pid]
+        ff = list(data.fault_free_by_patient[pid])
         for fold in range(config.folds):
             train, test = kfold_split(patient_traces, config.folds, fold)
             result = learn_thresholds(train + ff, loss=loss,
-                                      window=config.mining_window)
+                                      window=config.mining_window,
+                                      workers=config.workers)
             monitor = cawt_monitor(result.thresholds)
-            alerts.extend(replay_many(monitor, test))
+            alerts.extend(replay_many(monitor, test,
+                                      workers=config.workers))
             eval_traces.extend(test)
     return eval_traces, alerts
 
@@ -111,8 +200,9 @@ def cawt_full_thresholds(data: PlatformData, pid: str,
                          loss: str = "tmee") -> dict:
     """Thresholds learned from all of one patient's data (for mitigation)."""
     result = learn_thresholds(
-        data.by_patient[pid] + data.fault_free_by_patient[pid], loss=loss,
-        window=data.config.mining_window)
+        list(data.by_patient[pid]) + list(data.fault_free_by_patient[pid]),
+        loss=loss, window=data.config.mining_window,
+        workers=data.config.workers)
     return result.thresholds
 
 
@@ -125,9 +215,21 @@ def baseline_monitors(config: ExperimentConfig) -> Dict[str, SafetyMonitor]:
     }
 
 
-def train_test_split(data: PlatformData) -> Tuple[List, List]:
-    """The fold-0 split of the campaign (used for ML training)."""
-    return kfold_split(data.traces, data.config.folds, 0)
+def train_test_split(data: PlatformData) -> Tuple[Sequence, Sequence]:
+    """The fold-0 split of the campaign (used for ML training).
+
+    On store-backed data the split comes back as lazy index views — the
+    same membership and order :func:`kfold_split` produces, but without
+    materialising the campaign, so the reader's bounded-memory guarantee
+    survives the ML paths too.
+    """
+    traces = data.traces
+    k = data.config.folds
+    if isinstance(traces, TraceDataset):
+        indices = range(len(traces))
+        return (traces.subset(i for i in indices if i % k != 0),
+                traces.subset(i for i in indices if i % k == 0))
+    return kfold_split(traces, k, 0)
 
 
 def ml_monitors(data: PlatformData,

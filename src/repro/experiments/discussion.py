@@ -30,7 +30,7 @@ def run_adversarial_ablation(config: ExperimentConfig) -> ExperimentResult:
 
     variants = {}
     for pid in config.patients:
-        ff = data.fault_free_by_patient[pid]
+        ff = list(data.fault_free_by_patient[pid])
         train_p = [t for t in train if t.patient_id == pid]
         variants.setdefault("adversarial", {})[pid] = learn_thresholds(
             train_p + ff, window=config.mining_window).thresholds
@@ -101,7 +101,7 @@ def run_fault_free_generalisation(config: ExperimentConfig) -> ExperimentResult:
     for pid in config.patients:
         train_p = [t for t in train if t.patient_id == pid]
         thresholds[pid] = learn_thresholds(
-            train_p + data.fault_free_by_patient[pid],
+            train_p + list(data.fault_free_by_patient[pid]),
             window=config.mining_window).thresholds
 
     for name, monitor in monitors.items():

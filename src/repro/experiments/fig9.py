@@ -10,7 +10,7 @@ unstable spread and a slightly lower early-detection rate.
 from __future__ import annotations
 
 from ..metrics import reaction_stats
-from ..simulation import replay_many
+from ..simulation import replay_campaign
 from .config import ExperimentConfig
 from .data import (
     baseline_monitors,
@@ -39,11 +39,16 @@ def run_fig9(config: ExperimentConfig) -> ExperimentResult:
 
     eval_traces, alerts = cawt_cv_replay(data)
     add_row("CAWT", eval_traces, alerts)
-    for name, monitor in baseline_monitors(config).items():
-        add_row(name, data.traces, replay_many(monitor, data.traces))
+    baselines = baseline_monitors(config)
+    baseline_alerts = replay_campaign(baselines, data.traces,
+                                      workers=config.workers)
+    for name in baselines:
+        add_row(name, data.traces, baseline_alerts[name])
     _, test = train_test_split(data)
-    for name, monitor in ml_monitors(data).items():
-        add_row(name, test, replay_many(monitor, test))
+    ml = ml_monitors(data)
+    ml_alerts = replay_campaign(ml, test, workers=config.workers)
+    for name in ml:
+        add_row(name, test, ml_alerts[name])
 
     result.notes.append(
         "paper: CAWT detects ~2 h before the hazard with the lowest std; "

@@ -9,7 +9,7 @@ cross-validation (Section V-B).
 from __future__ import annotations
 
 from ..metrics import traces_confusion
-from ..simulation import replay_many
+from ..simulation import replay_campaign
 from .config import ExperimentConfig
 from .data import baseline_monitors, cawt_cv_replay, platform_data
 from .render import ExperimentResult
@@ -41,9 +41,12 @@ def run_table5(config: ExperimentConfig) -> ExperimentResult:
 
     n_sim = len(data.traces)
     hazard_pct = 100.0 * data.hazard_fraction
-    for name, monitor in baseline_monitors(config).items():
-        alerts = replay_many(monitor, data.traces)
-        cm = traces_confusion(data.traces, alerts, delta=config.tolerance)
+    monitors = baseline_monitors(config)
+    alert_map = replay_campaign(monitors, data.traces,
+                                workers=config.workers)
+    for name in monitors:
+        cm = traces_confusion(data.traces, alert_map[name],
+                              delta=config.tolerance)
         result.rows.append((name, n_sim, hazard_pct) + cm.as_row())
 
     eval_traces, alerts = cawt_cv_replay(data)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from ..core import cawt_monitor, learn_thresholds
 from ..metrics import simulation_confusion, traces_confusion
-from ..simulation import replay_many
+from ..simulation import replay_campaign, replay_many
 from .config import ExperimentConfig
 from .data import ml_monitors, platform_data, train_test_split
 from .render import ExperimentResult
@@ -47,8 +47,10 @@ def run_table6(config: ExperimentConfig) -> ExperimentResult:
         sm = simulation_confusion(eval_traces, alerts)
         result.rows.append((name,) + cm.as_row() + sm.as_row())
 
-    for name, monitor in ml_monitors(data).items():
-        add_row(name, test, replay_many(monitor, test))
+    ml = ml_monitors(data)
+    ml_alerts = replay_campaign(ml, test, workers=config.workers)
+    for name in ml:
+        add_row(name, test, ml_alerts[name])
 
     # CAWT trained on the same training fold (patient-specific thresholds)
     alerts = []
@@ -57,9 +59,10 @@ def run_table6(config: ExperimentConfig) -> ExperimentResult:
         train_p = [t for t in train if t.patient_id == pid]
         test_p = [t for t in test if t.patient_id == pid]
         thresholds = learn_thresholds(
-            train_p + data.fault_free_by_patient[pid],
-            window=config.mining_window).thresholds
-        alerts.extend(replay_many(cawt_monitor(thresholds), test_p))
+            train_p + list(data.fault_free_by_patient[pid]),
+            window=config.mining_window, workers=config.workers).thresholds
+        alerts.extend(replay_many(cawt_monitor(thresholds), test_p,
+                                  workers=config.workers))
         eval_traces.extend(test_p)
     add_row("CAWT", eval_traces, alerts)
 

@@ -34,15 +34,17 @@ def run_table8(config: ExperimentConfig,
 
     for pid in targets:
         patient_traces = data.by_patient[pid]
-        ff = data.fault_free_by_patient[pid]
+        ff = list(data.fault_free_by_patient[pid])
 
         # patient-specific: k-fold CV within the patient's own traces
         eval_traces, alerts = [], []
         for fold in range(config.folds):
             train, test = kfold_split(patient_traces, config.folds, fold)
-            thresholds = learn_thresholds(train + ff,
-                                          window=config.mining_window).thresholds
-            alerts.extend(replay_many(cawt_monitor(thresholds), test))
+            thresholds = learn_thresholds(
+                train + ff, window=config.mining_window,
+                workers=config.workers).thresholds
+            alerts.extend(replay_many(cawt_monitor(thresholds), test,
+                                      workers=config.workers))
             eval_traces.extend(test)
         cm = traces_confusion(eval_traces, alerts, delta=config.tolerance)
         rs = reaction_stats(eval_traces, alerts)
@@ -55,9 +57,11 @@ def run_table8(config: ExperimentConfig,
         others_ff = [t for other, traces in data.fault_free_by_patient.items()
                      if other != pid for t in traces]
         if others:
-            thresholds = learn_thresholds(others + others_ff,
-                                          window=config.mining_window).thresholds
-            alerts = replay_many(cawt_monitor(thresholds), patient_traces)
+            thresholds = learn_thresholds(
+                others + others_ff, window=config.mining_window,
+                workers=config.workers).thresholds
+            alerts = replay_many(cawt_monitor(thresholds), patient_traces,
+                                 workers=config.workers)
             cm = traces_confusion(patient_traces, alerts, delta=config.tolerance)
             rs = reaction_stats(patient_traces, alerts)
             result.rows.append((pid, "population") + cm.as_row()

@@ -14,33 +14,26 @@ from typing import Iterable, List, Tuple
 
 import numpy as np
 
-from ..controllers import ControlAction
+from ..simulation.features import FEATURE_NAMES, context_matrix, context_row
 
 __all__ = ["FEATURE_NAMES", "trace_features", "point_labels",
            "build_point_dataset", "build_window_dataset", "context_features"]
 
-#: feature layout shared by training data and runtime monitors
-FEATURE_NAMES: Tuple[str, ...] = ("BG", "BG'", "IOB", "IOB'", "rate", "bolus",
-                                  "u1", "u2", "u3", "u4")
-
 
 def trace_features(trace) -> np.ndarray:
-    """Per-cycle feature matrix ``(n, len(FEATURE_NAMES))`` of a trace."""
-    n = len(trace)
-    bg_rate = np.zeros(n)
-    bg_rate[1:] = np.diff(trace.cgm) / trace.dt
-    columns = [trace.cgm, bg_rate, trace.iob, trace.iob_rate,
-               trace.cmd_rate, trace.cmd_bolus]
-    for act in ControlAction:
-        columns.append((trace.action == int(act)).astype(float))
-    return np.column_stack(columns)
+    """Per-cycle feature matrix ``(n, len(FEATURE_NAMES))`` of a trace.
+
+    Delegates to the shared
+    :func:`~repro.simulation.features.context_matrix`, so training data is
+    cycle-for-cycle identical to the context stream replay (and the live
+    loop) feeds the monitors.
+    """
+    return context_matrix(trace)
 
 
 def context_features(ctx) -> np.ndarray:
     """The same feature layout computed from a runtime ContextVector."""
-    row = [ctx.bg, ctx.bg_rate, ctx.iob, ctx.iob_rate, ctx.rate, ctx.bolus]
-    row.extend(1.0 if ctx.action == act else 0.0 for act in ControlAction)
-    return np.asarray(row, dtype=float)
+    return context_row(ctx)
 
 
 def point_labels(trace, multiclass: bool = False) -> np.ndarray:

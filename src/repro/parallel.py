@@ -1,0 +1,120 @@
+"""Generic forked-pool chunk protocol.
+
+PR 1 built the parallel campaign executor around one idea: cut a
+deterministic work list into contiguous chunks, fork a ``multiprocessing``
+pool so unpicklable state (monitor factories, trained models, lazy
+datasets) is *inherited* rather than serialised, and collect chunk results
+strictly in submission order from a bounded in-flight window.  This module
+hoists that machinery out of :mod:`repro.simulation.executor` so every
+fan-out in the code base — campaign simulation, monitor replay, robustness
+-sample mining — shares the exact same protocol and therefore the exact
+same guarantee: worker count changes wall-clock time, never output.
+
+It sits below both :mod:`repro.core` and :mod:`repro.simulation` and
+imports neither, so either layer can parallelise without cycles.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import threading
+import warnings
+from collections import deque
+from typing import Any, Callable, Iterator, List, Optional, Sequence
+
+__all__ = ["shard_indices", "fork_map_chunks", "resolve_workers"]
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a ``workers=`` argument (None: ``REPRO_WORKERS`` env, or 1)."""
+    if workers is None:
+        workers = int(os.environ.get("REPRO_WORKERS", "1"))
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def shard_indices(n: int, n_chunks: int) -> List[range]:
+    """Cut ``range(n)`` into at most *n_chunks* contiguous index ranges.
+
+    Boundaries depend only on ``(n, n_chunks)``, so sharding is
+    deterministic; concatenating the ranges always reproduces ``range(n)``
+    and chunk sizes differ by at most one.
+    """
+    if n_chunks < 1:
+        raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+    n_chunks = min(n_chunks, n) or 1
+    base, extra = divmod(n, n_chunks)
+    chunks: List[range] = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        chunks.append(range(start, start + size))
+        start += size
+    return chunks
+
+
+#: fork-inherited state for pool workers — set immediately before the pool
+#: forks, cleared right after; never pickled, so unpicklable chunk
+#: functions (closures over monitors, datasets, plans) travel for free.
+#: The lock serialises the assign-then-fork critical section so two
+#: threads fanning out concurrently can neither fork the other's work
+#: list nor fork None.
+_FORK_STATE: Optional[tuple] = None
+_FORK_STATE_LOCK = threading.Lock()
+
+
+def _fork_worker(chunk_index: int):
+    fn, chunks = _FORK_STATE
+    return fn(chunks[chunk_index])
+
+
+def fork_map_chunks(fn: Callable[[Any], Any], chunks: Sequence[Any],
+                    workers: int, start_method: str = "fork"
+                    ) -> Iterator[Any]:
+    """Yield ``fn(chunk)`` for every chunk, strictly in chunk order.
+
+    With ``workers > 1`` and a platform that supports *start_method*, the
+    chunks are fanned out over a forked pool; *fn* and the chunks are
+    inherited by the workers (never pickled) while each **result** must be
+    picklable.  Results are collected from a bounded window of in-flight
+    tasks — at most ``2 * workers`` finished-but-unread chunks sit in the
+    parent — so a slow consumer cannot make memory pile up and the yielded
+    stream is element-wise identical to the serial loop.
+    """
+    chunks = list(chunks)
+    if workers <= 1 or len(chunks) <= 1:
+        for chunk in chunks:
+            yield fn(chunk)
+        return
+    if start_method not in multiprocessing.get_all_start_methods():
+        warnings.warn(
+            f"start method {start_method!r} unavailable; falling back to "
+            "serial execution", RuntimeWarning, stacklevel=3)
+        for chunk in chunks:
+            yield fn(chunk)
+        return
+
+    global _FORK_STATE
+    ctx = multiprocessing.get_context(start_method)
+    # fork pools spawn their workers eagerly in the constructor, so the
+    # shared state only needs to exist across the assign-then-fork window
+    with _FORK_STATE_LOCK:
+        _FORK_STATE = (fn, chunks)
+        try:
+            pool = ctx.Pool(processes=min(workers, len(chunks)))
+        finally:
+            _FORK_STATE = None
+    with pool:
+        window = 2 * workers
+        pending: deque = deque()
+        indices = iter(range(len(chunks)))
+        for i in itertools.islice(indices, window):
+            pending.append(pool.apply_async(_fork_worker, (i,)))
+        while pending:
+            result = pending.popleft().get()
+            for i in itertools.islice(indices, 1):
+                pending.append(pool.apply_async(_fork_worker, (i,)))
+            yield result

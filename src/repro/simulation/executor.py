@@ -30,12 +30,10 @@ count never changes the simulated dynamics — only the wall-clock time.
 from __future__ import annotations
 
 import abc
-import itertools
 import multiprocessing
 import os
 import threading
 import warnings
-from collections import deque
 from dataclasses import dataclass
 from typing import (Callable, Dict, Iterable, List, Optional, Sequence,
                     Tuple)
@@ -45,8 +43,9 @@ import numpy as np
 from ..core.mitigation import Mitigator
 from ..core.monitor import SafetyMonitor
 from ..fi import FaultInjector, FaultSpec, InjectionScenario
+from ..parallel import fork_map_chunks, resolve_workers, shard_indices
 from .scenario import Scenario
-from .trace import SimulationTrace
+from .trace import SimulationTrace, trace_to_arrays
 
 __all__ = [
     "SimRun", "CampaignPlan", "plan_campaign", "plan_fault_free",
@@ -123,18 +122,8 @@ def shard_plan(plan: CampaignPlan,
     is deterministic, and concatenating the chunks always reproduces the
     original run order.  Chunk sizes differ by at most one.
     """
-    if n_chunks < 1:
-        raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
-    n = len(plan.runs)
-    n_chunks = min(n_chunks, n) or 1
-    base, extra = divmod(n, n_chunks)
-    chunks: List[Tuple[SimRun, ...]] = []
-    start = 0
-    for i in range(n_chunks):
-        size = base + (1 if i < extra else 0)
-        chunks.append(plan.runs[start:start + size])
-        start += size
-    return chunks
+    return [plan.runs[r.start:r.stop]
+            for r in shard_indices(len(plan.runs), n_chunks)]
 
 
 # ----------------------------------------------------------------------
@@ -287,16 +276,13 @@ class CountingSink(TraceSink):
 class NpzDirectorySink(TraceSink):
     """Stream each trace to ``<directory>/trace_<index>.npz``.
 
-    Array channels are stored as-is; identity metadata (platform, patient,
-    label, dt and the fault spec fields) ride along as 0-d object-free
-    entries so a trace file is self-describing.
+    Each shard is a self-describing
+    :func:`~repro.simulation.trace.trace_to_arrays` payload: array channels
+    stored as-is, identity metadata (platform, patient, label, dt and the
+    fault spec fields) riding along as 0-d object-free entries.  Pair with
+    a manifest via :class:`repro.simulation.store.CampaignStoreWriter` to
+    get a reopenable on-disk dataset.
     """
-
-    _ARRAY_FIELDS = ("t", "true_bg", "cgm", "reading", "ctrl_rate",
-                     "ctrl_bolus", "cmd_rate", "cmd_bolus", "action", "iob",
-                     "iob_rate", "final_rate", "final_bolus",
-                     "delivered_rate", "delivered_bolus", "alert",
-                     "alert_hazard", "mitigated")
 
     def __init__(self, directory: str):
         self.directory = directory
@@ -310,20 +296,13 @@ class NpzDirectorySink(TraceSink):
                 "directory or remove them first")
         self.n_written = 0
 
+    @staticmethod
+    def shard_name(index: int) -> str:
+        return f"trace_{index:09d}.npz"
+
     def write(self, trace: SimulationTrace) -> None:
-        payload = {name: getattr(trace, name) for name in self._ARRAY_FIELDS}
-        payload["platform"] = np.array(trace.platform)
-        payload["patient_id"] = np.array(trace.patient_id)
-        payload["label"] = np.array(trace.label)
-        payload["dt"] = np.array(trace.dt)
-        if trace.fault is not None:
-            payload["fault_kind"] = np.array(trace.fault.kind.value)
-            payload["fault_target"] = np.array(trace.fault.target.value)
-            payload["fault_start"] = np.array(trace.fault.start_step)
-            payload["fault_duration"] = np.array(trace.fault.duration_steps)
-            payload["fault_value"] = np.array(trace.fault.value)
-        path = os.path.join(self.directory, f"trace_{self.n_written:09d}.npz")
-        np.savez_compressed(path, **payload)
+        path = os.path.join(self.directory, self.shard_name(self.n_written))
+        np.savez_compressed(path, **trace_to_arrays(trace))
         self.n_written += 1
 
 
@@ -410,20 +389,6 @@ class SerialExecutor(CampaignExecutor):
         yield _run_chunk(plan, plan.runs, monitor_factory, mitigator)
 
 
-#: fork-inherited state for pool workers — set immediately before the pool
-#: forks, cleared right after; never pickled, so unpicklable monitor
-#: factories (closures, lambdas, trained models) travel for free.  The lock
-#: serialises the assign-then-fork critical section so two threads running
-#: parallel campaigns can neither fork the other's plan nor fork None.
-_WORKER_STATE: Optional[tuple] = None
-_WORKER_STATE_LOCK = threading.Lock()
-
-
-def _worker_run_chunk(chunk_index: int):
-    plan, chunks, monitor_factory, mitigator = _WORKER_STATE
-    return _run_chunk(plan, chunks[chunk_index], monitor_factory, mitigator)
-
-
 class ParallelExecutor(CampaignExecutor):
     """Fan the plan out over a forked ``multiprocessing`` pool.
 
@@ -459,7 +424,6 @@ class ParallelExecutor(CampaignExecutor):
         self.start_method = start_method
 
     def map_chunks(self, plan, monitor_factory, mitigator):
-        global _WORKER_STATE
         if (self.workers <= 1 or len(plan) <= 1
                 or self.start_method not in
                 multiprocessing.get_all_start_methods()):
@@ -472,38 +436,17 @@ class ParallelExecutor(CampaignExecutor):
             return
 
         chunks = shard_plan(plan, self.workers * self.chunks_per_worker)
-        ctx = multiprocessing.get_context(self.start_method)
-        # fork pools spawn their workers eagerly in the constructor, so the
-        # shared state only needs to exist across the assign-then-fork
-        # window; the lock keeps concurrent campaigns from interleaving it
-        with _WORKER_STATE_LOCK:
-            _WORKER_STATE = (plan, chunks, monitor_factory, mitigator)
-            try:
-                pool = ctx.Pool(processes=min(self.workers, len(chunks)))
-            finally:
-                _WORKER_STATE = None
-        with pool:
-            # bounded submission window: at most 2 finished-but-unread
-            # chunks per worker sit in the parent, so a slow consumer
-            # (e.g. a compressing sink) cannot make results pile up
-            window = 2 * self.workers
-            pending: deque = deque()
-            indices = iter(range(len(chunks)))
-            for i in itertools.islice(indices, window):
-                pending.append(pool.apply_async(_worker_run_chunk, (i,)))
-            while pending:
-                chunk_traces = pending.popleft().get()
-                for i in itertools.islice(indices, 1):
-                    pending.append(pool.apply_async(_worker_run_chunk, (i,)))
-                yield chunk_traces
+
+        def run_chunk(runs):
+            return _run_chunk(plan, runs, monitor_factory, mitigator)
+
+        yield from fork_map_chunks(run_chunk, chunks, self.workers,
+                                   start_method=self.start_method)
 
 
 def get_executor(workers: Optional[int] = None) -> CampaignExecutor:
     """Executor for *workers* processes (None: ``REPRO_WORKERS`` env, or 1)."""
-    if workers is None:
-        workers = int(os.environ.get("REPRO_WORKERS", "1"))
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
+    workers = resolve_workers(workers)
     if workers == 1:
         return SerialExecutor()
     return ParallelExecutor(workers=workers)

@@ -1,0 +1,51 @@
+"""Canonical per-cycle context reconstruction from recorded traces.
+
+Offline monitor replay (:mod:`repro.simulation.replay`) and ML dataset
+construction (:mod:`repro.ml.datasets`) both rebuild the monitor's view of
+a trace: clean CGM, its finite-difference rate, loop-side IOB bookkeeping
+and the post-fault-injection command, plus the one-hot control action.
+They used to each carry their own copy of that arithmetic — a drift risk,
+since a silent disagreement would make the ML monitors train on features
+that differ from what replay (and the live loop) feeds them.  This module
+is the single shared implementation both sides delegate to.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..controllers import ControlAction
+
+__all__ = ["FEATURE_NAMES", "context_matrix", "context_row"]
+
+#: feature layout shared by replay, training data and runtime monitors
+FEATURE_NAMES: Tuple[str, ...] = ("BG", "BG'", "IOB", "IOB'", "rate", "bolus",
+                                  "u1", "u2", "u3", "u4")
+
+
+def context_matrix(trace) -> np.ndarray:
+    """Per-cycle context matrix ``(n, len(FEATURE_NAMES))`` of a trace.
+
+    Row ``t`` is exactly what the closed loop fed the monitor at cycle
+    ``t``: BG is the clean CGM reading, BG' its backward difference
+    (0 at the first cycle), IOB/IOB' the loop-side estimates, rate/bolus
+    the post-fault-injection command and ``u1..u4`` the one-hot encoding
+    of the commanded control action.
+    """
+    n = len(trace)
+    bg_rate = np.zeros(n)
+    bg_rate[1:] = np.diff(trace.cgm) / trace.dt
+    columns = [trace.cgm, bg_rate, trace.iob, trace.iob_rate,
+               trace.cmd_rate, trace.cmd_bolus]
+    for act in ControlAction:
+        columns.append((trace.action == int(act)).astype(float))
+    return np.column_stack(columns)
+
+
+def context_row(ctx) -> np.ndarray:
+    """The same feature layout computed from one runtime ContextVector."""
+    row = [ctx.bg, ctx.bg_rate, ctx.iob, ctx.iob_rate, ctx.rate, ctx.bolus]
+    row.extend(1.0 if ctx.action == act else 0.0 for act in ControlAction)
+    return np.asarray(row, dtype=float)

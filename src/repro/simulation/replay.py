@@ -5,35 +5,49 @@ change the closed-loop dynamics.  A fault-injection campaign therefore only
 needs to be *simulated once*; every candidate monitor can then be evaluated
 by replaying the recorded context stream through it.  This is what makes the
 paper's many-monitor comparisons (Tables V, VI, Fig. 9) tractable.
+
+:func:`replay_campaign` scales that replay the same way the campaign
+executor scales simulation: the trace list is cut into deterministic index
+chunks and fanned out over the forked-pool protocol of
+:mod:`repro.parallel`, with every monitor reset per trace — so the alert
+streams are element-wise identical for any worker count.  It accepts any
+trace sequence, in particular the lazy
+:class:`~repro.simulation.store.TraceDataset`, in which case each worker
+loads only its own shards.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from ..controllers import ControlAction
 from ..core.context import ContextVector
 from ..core.monitor import SafetyMonitor
+from ..parallel import fork_map_chunks, resolve_workers, shard_indices
+from .features import context_matrix
 from .trace import SimulationTrace
 
-__all__ = ["replay_monitor", "replay_many", "iter_contexts"]
+__all__ = ["replay_monitor", "replay_many", "replay_campaign",
+           "iter_contexts"]
 
 
 def iter_contexts(trace: SimulationTrace):
     """Yield the per-cycle :class:`ContextVector` stream of a trace.
 
-    Reconstructs exactly what the closed loop fed the monitor: clean CGM
-    values, loop-side IOB bookkeeping and the post-fault-injection command.
+    Reconstructs exactly what the closed loop fed the monitor, row by row
+    of the shared :func:`~repro.simulation.features.context_matrix` —
+    replay and ML dataset construction therefore agree cycle-for-cycle by
+    construction.
     """
-    n = len(trace)
-    for t in range(n):
-        bg_rate = 0.0 if t == 0 else (trace.cgm[t] - trace.cgm[t - 1]) / trace.dt
+    matrix = context_matrix(trace)
+    for t in range(len(trace)):
+        bg, bg_rate, iob, iob_rate, rate, bolus = matrix[t, :6]
         yield ContextVector(
-            t=float(trace.t[t]), bg=float(trace.cgm[t]), bg_rate=float(bg_rate),
-            iob=float(trace.iob[t]), iob_rate=float(trace.iob_rate[t]),
-            rate=float(trace.cmd_rate[t]), bolus=float(trace.cmd_bolus[t]),
+            t=float(trace.t[t]), bg=float(bg), bg_rate=float(bg_rate),
+            iob=float(iob), iob_rate=float(iob_rate),
+            rate=float(rate), bolus=float(bolus),
             action=ControlAction(int(trace.action[t])))
 
 
@@ -55,7 +69,86 @@ def replay_monitor(monitor: SafetyMonitor,
     return alerts, hazards
 
 
+def _replay_alerts(monitor: SafetyMonitor, contexts) -> np.ndarray:
+    """Alert flags of *monitor* (reset first) over a realised context list."""
+    monitor.reset()
+    alerts = np.zeros(len(contexts), dtype=bool)
+    for t, ctx in enumerate(contexts):
+        alerts[t] = monitor.observe(ctx).alert
+    return alerts
+
+
+def replay_campaign(monitors: Mapping[str, SafetyMonitor],
+                    traces: Iterable[SimulationTrace],
+                    workers: Optional[int] = None,
+                    chunks_per_worker: int = 4
+                    ) -> Dict[str, List[np.ndarray]]:
+    """Replay a named set of monitors over recorded traces, in parallel.
+
+    Parameters
+    ----------
+    monitors:
+        ``name -> monitor`` mapping; every monitor sees every trace (reset
+        before each one, exactly like :func:`replay_monitor`).  The
+        context stream of each trace is reconstructed once and shared by
+        all monitors.
+    traces:
+        Any iterable of traces.  Serially, plain iterables (generators
+        included) are streamed one trace at a time; with ``workers > 1``
+        a sequence is required for index chunking — ideally a lazy
+        :class:`~repro.simulation.store.TraceDataset`, so each worker
+        loads only its own shards (non-sequence iterables are
+        materialised first).
+    workers:
+        Process count (None: ``REPRO_WORKERS`` env, or 1).  Monitors and
+        the trace sequence are fork-inherited, never pickled, so trained
+        models and lazy datasets work unchanged; only the boolean alert
+        arrays travel back.  Output is element-wise identical to
+        ``workers=1`` for every worker count.
+
+    Returns ``name -> list of per-trace boolean alert arrays``, aligned
+    with *traces*.
+    """
+    if chunks_per_worker < 1:
+        raise ValueError(
+            f"chunks_per_worker must be >= 1, got {chunks_per_worker}")
+    named = dict(monitors)
+    workers = resolve_workers(workers)
+    out: Dict[str, List[np.ndarray]] = {name: [] for name in named}
+    if not named:
+        return out
+    if workers <= 1:
+        # stream: one trace resident at a time, whatever the iterable
+        for trace in traces:
+            contexts = list(iter_contexts(trace))
+            for name, monitor in named.items():
+                out[name].append(_replay_alerts(monitor, contexts))
+        return out
+
+    if not hasattr(traces, "__getitem__"):
+        traces = list(traces)
+    n = len(traces)
+    if n == 0:
+        return out
+    chunks = shard_indices(n, workers * chunks_per_worker)
+
+    def replay_chunk(index_range):
+        result = {name: [] for name in named}
+        for i in index_range:
+            contexts = list(iter_contexts(traces[i]))
+            for name, monitor in named.items():
+                result[name].append(_replay_alerts(monitor, contexts))
+        return result
+
+    for chunk_result in fork_map_chunks(replay_chunk, chunks, workers):
+        for name, alerts in chunk_result.items():
+            out[name].extend(alerts)
+    return out
+
+
 def replay_many(monitor: SafetyMonitor,
-                traces: Iterable[SimulationTrace]) -> List[np.ndarray]:
+                traces: Iterable[SimulationTrace],
+                workers: Optional[int] = None) -> List[np.ndarray]:
     """Alert sequences of *monitor* over a list of traces."""
-    return [replay_monitor(monitor, trace)[0] for trace in traces]
+    return replay_campaign({"monitor": monitor}, traces,
+                           workers=workers)["monitor"]

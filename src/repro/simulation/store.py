@@ -1,0 +1,444 @@
+"""Write-once on-disk campaign datasets: npz shards + a JSON manifest.
+
+The paper's evaluation simulates each fault-injection campaign *once* and
+then replays every candidate monitor, threshold learner and ML dataset
+builder over the recorded traces.  This module turns that "run once" step
+into a durable artifact:
+
+- :class:`CampaignStoreWriter` streams traces (in plan order, from any
+  executor and worker count) into per-trace ``.npz`` shards via
+  :class:`~repro.simulation.executor.NpzDirectorySink` and finalises a
+  ``manifest.json`` keyed by patient / scenario / fold, carrying a schema
+  version and a campaign fingerprint;
+- :class:`TraceDataset` reopens the directory as a lazy, bounded-memory
+  sequence of :class:`~repro.simulation.trace.SimulationTrace` objects —
+  shards load on demand into a small LRU window, so downstream consumers
+  (``build_point_dataset``, ``mine_rule_samples``, ``replay_campaign``)
+  can stream arbitrarily large campaigns without materialising them.
+
+The fingerprint is a SHA-256 over the campaign's identity — platform,
+step count and the ordered (patient, scenario label, fault) cells — and is
+computable both from a :class:`~repro.simulation.executor.CampaignPlan`
+(before simulating) and from a manifest (after), so "is this directory
+the campaign my config describes?" is a cheap equality check.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import zipfile
+from collections import OrderedDict
+from collections.abc import Sequence as SequenceABC
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from ..fi import FaultSpec
+from .executor import CampaignPlan, NpzDirectorySink, TraceSink
+from .trace import SimulationTrace, trace_from_arrays
+
+__all__ = [
+    "SCHEMA_VERSION", "MANIFEST_NAME", "CampaignStoreError",
+    "campaign_fingerprint", "plan_fingerprint", "CampaignStoreWriter",
+    "DatasetStats", "TraceDataset", "TraceDatasetView", "open_dataset",
+    "manifest_path",
+]
+
+#: bump when the manifest layout or shard payload schema changes
+SCHEMA_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+
+#: default size of the lazy reader's LRU window (traces held in memory)
+DEFAULT_CACHE_SIZE = 16
+
+
+class CampaignStoreError(RuntimeError):
+    """A campaign dataset is missing, corrupted, or from another campaign."""
+
+
+def manifest_path(directory: str) -> str:
+    return os.path.join(directory, MANIFEST_NAME)
+
+
+# ----------------------------------------------------------------------
+# fingerprinting
+# ----------------------------------------------------------------------
+
+#: one campaign cell: (patient_id, label, fault-or-None) where the fault is
+#: the 5-tuple (kind, target, start_step, duration_steps, value)
+Cell = Tuple[str, str, Optional[Tuple[str, str, int, int, float]]]
+
+
+def _fault_cell(fault: Optional[FaultSpec]
+                ) -> Optional[Tuple[str, str, int, int, float]]:
+    if fault is None:
+        return None
+    return (fault.kind.value, fault.target.value, int(fault.start_step),
+            int(fault.duration_steps), float(fault.value))
+
+
+def campaign_fingerprint(platform: str, n_steps: int,
+                         cells: Iterable[Cell]) -> str:
+    """SHA-256 hex digest of a campaign's identity.
+
+    Canonical-JSON hash over the platform, the per-trace step count and the
+    *ordered* (patient, label, fault) cells — everything that determines
+    the simulated traces, nothing that doesn't (worker count, directory).
+    """
+    doc = {"schema_version": SCHEMA_VERSION, "platform": platform,
+           "n_steps": int(n_steps),
+           "cells": [[pid, label, list(fault) if fault else None]
+                     for pid, label, fault in cells]}
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def plan_fingerprint(plan: CampaignPlan) -> str:
+    """The fingerprint a store written from *plan* will carry."""
+    cells = [(run.patient_id, run.label, _fault_cell(run.fault))
+             for run in plan.runs]
+    return campaign_fingerprint(plan.platform, plan.n_steps, cells)
+
+
+def _entry_cell(entry: Mapping) -> Cell:
+    fault = entry.get("fault")
+    if fault is not None:
+        fault = (fault["kind"], fault["target"], int(fault["start_step"]),
+                 int(fault["duration_steps"]), float(fault["value"]))
+    return (entry["patient_id"], entry["label"], fault)
+
+
+# ----------------------------------------------------------------------
+# writer
+# ----------------------------------------------------------------------
+
+class CampaignStoreWriter(TraceSink):
+    """Stream a campaign into *directory* and finalise its manifest.
+
+    Wraps an :class:`NpzDirectorySink` (which refuses directories already
+    holding trace shards) and records one manifest entry per trace.  When
+    *folds* is given, each entry also carries the trace's round-robin
+    cross-validation fold *within its patient* — the same assignment
+    :func:`~repro.simulation.batch.kfold_split` produces on a patient's
+    trace list, so readers can reconstruct any fold without loading data.
+
+    Use as a context manager (or call :meth:`close`): the manifest — and
+    with it the dataset's validity — only exists after a clean close.  If
+    the ``with`` body raises (a simulator error, a dead worker), the
+    writer *aborts* instead of closing: no manifest is written, so the
+    half-written shard pile can never be mistaken for a complete dataset
+    and the next open/rewrite reports it explicitly.
+    """
+
+    def __init__(self, directory: str, platform: str, n_steps: int,
+                 folds: Optional[int] = None):
+        if folds is not None and folds < 2:
+            raise ValueError(f"folds must be >= 2, got {folds}")
+        if os.path.exists(manifest_path(directory)):
+            raise CampaignStoreError(
+                f"{directory} already holds a campaign manifest; "
+                "use a fresh directory or remove it first")
+        self.platform = platform
+        self.n_steps = int(n_steps)
+        self.folds = folds
+        try:
+            self._sink = NpzDirectorySink(directory)
+        except FileExistsError as exc:
+            raise CampaignStoreError(
+                f"{directory} holds trace shards but no manifest — the "
+                "remains of an interrupted campaign write; remove the "
+                "directory and rerun") from exc
+        self._entries: List[dict] = []
+        self._per_patient: Dict[str, int] = {}
+        self._closed = False
+
+    @property
+    def directory(self) -> str:
+        return self._sink.directory
+
+    @property
+    def n_written(self) -> int:
+        return self._sink.n_written
+
+    def write(self, trace: SimulationTrace) -> None:
+        if self._closed:
+            raise CampaignStoreError("writer is closed")
+        if trace.platform != self.platform:
+            raise CampaignStoreError(
+                f"trace platform {trace.platform!r} does not match the "
+                f"store's {self.platform!r}")
+        if len(trace) != self.n_steps:
+            raise CampaignStoreError(
+                f"trace has {len(trace)} steps, store expects {self.n_steps}")
+        index = self._sink.n_written
+        self._sink.write(trace)
+        fold = None
+        if self.folds is not None:
+            seen = self._per_patient.get(trace.patient_id, 0)
+            fold = seen % self.folds
+            self._per_patient[trace.patient_id] = seen + 1
+        fault = None
+        if trace.fault is not None:
+            fault = {"kind": trace.fault.kind.value,
+                     "target": trace.fault.target.value,
+                     "start_step": trace.fault.start_step,
+                     "duration_steps": trace.fault.duration_steps,
+                     "value": trace.fault.value}
+        self._entries.append({"file": NpzDirectorySink.shard_name(index),
+                              "patient_id": trace.patient_id,
+                              "label": trace.label, "fold": fold,
+                              "fault": fault})
+
+    def abort(self) -> None:
+        """Discard the write: no manifest is (or can later be) produced."""
+        self._closed = True
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # a failed campaign must not be finalised into a valid dataset
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        fingerprint = campaign_fingerprint(
+            self.platform, self.n_steps,
+            (_entry_cell(e) for e in self._entries))
+        manifest = {"schema_version": SCHEMA_VERSION,
+                    "fingerprint": fingerprint, "platform": self.platform,
+                    "n_steps": self.n_steps, "folds": self.folds,
+                    "n_traces": len(self._entries), "traces": self._entries}
+        # write-then-rename so a torn write never yields a parsable manifest
+        tmp = manifest_path(self.directory) + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=1)
+        os.replace(tmp, manifest_path(self.directory))
+        self._closed = True
+
+
+# ----------------------------------------------------------------------
+# lazy reader
+# ----------------------------------------------------------------------
+
+@dataclass
+class DatasetStats:
+    """Shard-load instrumentation of one :class:`TraceDataset`.
+
+    ``max_resident`` is the high-water mark of simultaneously cached
+    traces — the bounded-memory guarantee is ``max_resident <=
+    cache_size`` no matter how large the campaign or how often it is
+    iterated.
+    """
+
+    n_loads: int = 0
+    cache_hits: int = 0
+    evictions: int = 0
+    max_resident: int = 0
+
+
+class TraceDataset(SequenceABC):
+    """Lazy, bounded-memory view of an on-disk campaign dataset.
+
+    Indexing or iterating loads shards on demand; at most *cache_size*
+    decoded traces are resident at any moment (LRU eviction), so memory is
+    bounded by the window — never by campaign size — even across repeated
+    passes.  All views created by :meth:`subset` / :meth:`by_patient` /
+    :meth:`fold_split` share the parent's cache and :class:`DatasetStats`.
+
+    Opening validates the manifest eagerly (schema version, fingerprint
+    consistency); shard problems — missing files, corrupted payloads, a
+    shard whose identity disagrees with its manifest entry — surface as
+    :class:`CampaignStoreError` at first access.
+    """
+
+    def __init__(self, directory: str, manifest: Mapping,
+                 cache_size: int = DEFAULT_CACHE_SIZE):
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {cache_size}")
+        version = manifest.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise CampaignStoreError(
+                f"dataset at {directory} has schema version {version!r}; "
+                f"this reader supports {SCHEMA_VERSION}")
+        self.directory = directory
+        self.platform: str = manifest["platform"]
+        self.n_steps: int = int(manifest["n_steps"])
+        self.folds: Optional[int] = manifest.get("folds")
+        self._entries: List[dict] = list(manifest["traces"])
+        if len(self._entries) != int(manifest.get("n_traces",
+                                                  len(self._entries))):
+            raise CampaignStoreError(
+                f"manifest at {directory} lists "
+                f"{manifest.get('n_traces')} traces but carries "
+                f"{len(self._entries)} entries")
+        self.fingerprint: str = manifest["fingerprint"]
+        recomputed = campaign_fingerprint(
+            self.platform, self.n_steps,
+            (_entry_cell(e) for e in self._entries))
+        if recomputed != self.fingerprint:
+            raise CampaignStoreError(
+                f"manifest fingerprint mismatch at {directory}: the trace "
+                "index does not hash to the recorded fingerprint "
+                "(manifest edited or corrupted)")
+        self.cache_size = cache_size
+        self._cache: "OrderedDict[int, SimulationTrace]" = OrderedDict()
+        self.stats = DatasetStats()
+
+    @classmethod
+    def open(cls, directory: str,
+             cache_size: int = DEFAULT_CACHE_SIZE) -> "TraceDataset":
+        """Open the dataset written to *directory* (manifest required)."""
+        path = manifest_path(directory)
+        if not os.path.exists(path):
+            raise CampaignStoreError(
+                f"no campaign manifest at {path}; was the writer closed?")
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                manifest = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CampaignStoreError(
+                f"unreadable campaign manifest at {path}: {exc}") from exc
+        return cls(directory, manifest, cache_size=cache_size)
+
+    # -- core loading ---------------------------------------------------
+
+    def _load(self, index: int) -> SimulationTrace:
+        cached = self._cache.get(index)
+        if cached is not None:
+            self._cache.move_to_end(index)
+            self.stats.cache_hits += 1
+            return cached
+        entry = self._entries[index]
+        path = os.path.join(self.directory, entry["file"])
+        if not os.path.exists(path):
+            raise CampaignStoreError(
+                f"missing shard {entry['file']} (trace {index}) in "
+                f"{self.directory}")
+        try:
+            with np.load(path) as payload:
+                trace = trace_from_arrays(payload)
+        except (zipfile.BadZipFile, OSError, ValueError, KeyError) as exc:
+            raise CampaignStoreError(
+                f"corrupted shard {entry['file']} (trace {index}) in "
+                f"{self.directory}: {exc}") from exc
+        if (trace.patient_id != entry["patient_id"]
+                or trace.label != entry["label"]):
+            raise CampaignStoreError(
+                f"shard {entry['file']} holds "
+                f"{trace.patient_id}/{trace.label!r} but the manifest "
+                f"expects {entry['patient_id']}/{entry['label']!r} "
+                "(shards shuffled or overwritten)")
+        self.stats.n_loads += 1
+        self._cache[index] = trace
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+            self.stats.evictions += 1
+        self.stats.max_resident = max(self.stats.max_resident,
+                                      len(self._cache))
+        return trace
+
+    # -- sequence protocol ----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, index: Union[int, slice]):
+        if isinstance(index, slice):
+            return self.subset(range(*index.indices(len(self))))
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        return self._load(index)
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield self._load(i)
+
+    # -- metadata-only queries (no shard loads) -------------------------
+
+    @property
+    def patient_ids(self) -> Tuple[str, ...]:
+        """Distinct patient ids, in first-appearance (plan) order."""
+        return tuple(dict.fromkeys(e["patient_id"] for e in self._entries))
+
+    def entry(self, index: int) -> Mapping:
+        """The manifest entry of trace *index* (metadata, no load)."""
+        return dict(self._entries[index])
+
+    def indices(self, patient_id: Optional[str] = None,
+                fold: Optional[int] = None) -> List[int]:
+        """Trace indices matching the given patient and/or fold key."""
+        out = []
+        for i, e in enumerate(self._entries):
+            if patient_id is not None and e["patient_id"] != patient_id:
+                continue
+            if fold is not None and e["fold"] != fold:
+                continue
+            out.append(i)
+        return out
+
+    # -- lazy views -----------------------------------------------------
+
+    def subset(self, indices: Iterable[int]) -> "TraceDatasetView":
+        """A lazy view over *indices*, sharing this dataset's cache."""
+        return TraceDatasetView(self, tuple(indices))
+
+    def by_patient(self, patient_id: str) -> "TraceDatasetView":
+        return self.subset(self.indices(patient_id=patient_id))
+
+    def fold_split(self, fold: int) -> Tuple["TraceDatasetView",
+                                             "TraceDatasetView"]:
+        """(train, test) views for one recorded cross-validation fold."""
+        if self.folds is None:
+            raise CampaignStoreError(
+                "dataset was written without fold assignments")
+        if not 0 <= fold < self.folds:
+            raise ValueError(f"fold must be in [0, {self.folds}), got {fold}")
+        test = [i for i, e in enumerate(self._entries) if e["fold"] == fold]
+        train = [i for i, e in enumerate(self._entries) if e["fold"] != fold]
+        return self.subset(train), self.subset(test)
+
+    def __repr__(self) -> str:
+        return (f"TraceDataset({self.directory!r}, {len(self)} traces, "
+                f"platform={self.platform!r}, cache_size={self.cache_size})")
+
+
+class TraceDatasetView(SequenceABC):
+    """An index-selected lazy view of a :class:`TraceDataset`."""
+
+    def __init__(self, dataset: TraceDataset, indices: Tuple[int, ...]):
+        self._dataset = dataset
+        self._indices = indices
+
+    def __len__(self) -> int:
+        return len(self._indices)
+
+    def __getitem__(self, index: Union[int, slice]):
+        if isinstance(index, slice):
+            return TraceDatasetView(self._dataset, self._indices[index])
+        return self._dataset._load(self._indices[index])
+
+    def __iter__(self):
+        for i in self._indices:
+            yield self._dataset._load(i)
+
+    @property
+    def stats(self) -> DatasetStats:
+        return self._dataset.stats
+
+    def __repr__(self) -> str:
+        return (f"TraceDatasetView({len(self)} of "
+                f"{len(self._dataset)} traces)")
+
+
+def open_dataset(directory: str,
+                 cache_size: int = DEFAULT_CACHE_SIZE) -> TraceDataset:
+    """Convenience alias for :meth:`TraceDataset.open`."""
+    return TraceDataset.open(directory, cache_size=cache_size)

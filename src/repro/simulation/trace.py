@@ -11,16 +11,24 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import List, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from ..controllers import ControlAction
-from ..fi import FaultSpec
+from ..fi import FaultKind, FaultSpec, FaultTarget
 from ..hazards import HazardLabel, label_hazards
 from ..stl import Trace
 
-__all__ = ["SimulationTrace", "TraceRecorder"]
+__all__ = ["SimulationTrace", "TraceRecorder", "TRACE_ARRAY_FIELDS",
+           "trace_to_arrays", "trace_from_arrays"]
+
+#: the per-step array channels of a SimulationTrace, in field order —
+#: the serialisation schema shared by NpzDirectorySink and the store
+TRACE_ARRAY_FIELDS: Tuple[str, ...] = (
+    "t", "true_bg", "cgm", "reading", "ctrl_rate", "ctrl_bolus", "cmd_rate",
+    "cmd_bolus", "action", "iob", "iob_rate", "final_rate", "final_bolus",
+    "delivered_rate", "delivered_bolus", "alert", "alert_hazard", "mitigated")
 
 
 @dataclass(frozen=True)
@@ -108,6 +116,44 @@ class SimulationTrace:
         fault = self.fault.label if self.fault else "fault-free"
         return (f"{self.platform}/{self.patient_id} [{fault}] {len(self)} steps, "
                 f"{haz}, alerts={int(self.alert.sum())}")
+
+
+def trace_to_arrays(trace: SimulationTrace) -> Dict[str, np.ndarray]:
+    """Flatten a trace into a self-describing dict of numpy arrays.
+
+    Array channels are stored as-is; identity metadata (platform, patient,
+    label, dt and the fault spec fields) ride along as 0-d object-free
+    entries, so one ``np.savez`` payload round-trips the full trace.
+    """
+    payload = {name: getattr(trace, name) for name in TRACE_ARRAY_FIELDS}
+    payload["platform"] = np.array(trace.platform)
+    payload["patient_id"] = np.array(trace.patient_id)
+    payload["label"] = np.array(trace.label)
+    payload["dt"] = np.array(trace.dt)
+    if trace.fault is not None:
+        payload["fault_kind"] = np.array(trace.fault.kind.value)
+        payload["fault_target"] = np.array(trace.fault.target.value)
+        payload["fault_start"] = np.array(trace.fault.start_step)
+        payload["fault_duration"] = np.array(trace.fault.duration_steps)
+        payload["fault_value"] = np.array(trace.fault.value)
+    return payload
+
+
+def trace_from_arrays(payload: Mapping[str, np.ndarray]) -> SimulationTrace:
+    """Rebuild a :class:`SimulationTrace` from a :func:`trace_to_arrays`
+    payload (a dict or an open ``NpzFile``)."""
+    fault = None
+    if "fault_kind" in payload:
+        fault = FaultSpec(kind=FaultKind(str(payload["fault_kind"])),
+                          target=FaultTarget(str(payload["fault_target"])),
+                          start_step=int(payload["fault_start"]),
+                          duration_steps=int(payload["fault_duration"]),
+                          value=float(payload["fault_value"]))
+    arrays = {name: np.asarray(payload[name]) for name in TRACE_ARRAY_FIELDS}
+    return SimulationTrace(platform=str(payload["platform"]),
+                           patient_id=str(payload["patient_id"]),
+                           label=str(payload["label"]),
+                           dt=float(payload["dt"]), fault=fault, **arrays)
 
 
 @dataclass

@@ -1,0 +1,67 @@
+"""Shared test-fixture layer.
+
+Several test modules need "a small but real fault-injection campaign".
+Before this layer each of them simulated its own — the same 56 traces,
+several times per run.  The fixtures here simulate that campaign (and the
+matching fault-free references) exactly once per session and hand the same
+list to every module, cutting tier-1 wall-clock without any test giving up
+real closed-loop data.
+
+Test code must treat the shared traces as immutable: SimulationTrace is a
+frozen dataclass, so this is only a concern for tests that would mutate
+the returned *list* — copy it first (``list(tiny_campaign_traces)``).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.fi import CampaignConfig, generate_campaign
+from repro.simulation import run_campaign, run_fault_free
+
+#: the shared small campaign grid: 14 fault configs x 2 timings x 2 initial
+#: BGs = 56 scenarios against Glucosym patient B (hazardous and safe mix)
+TINY_CAMPAIGN_CONFIG = CampaignConfig(init_glucose_values=(120.0, 200.0),
+                                      timing_choices=((0, 24), (40, 30)))
+
+TINY_PLATFORM = "glucosym"
+TINY_PATIENT = "B"
+
+
+def tiny_campaign_scenarios():
+    """The scenario list behind :func:`tiny_campaign_traces` (plain helper
+    so tests can rebuild the matching CampaignPlan)."""
+    return generate_campaign(TINY_CAMPAIGN_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def tiny_campaign_traces():
+    """56-trace patient-B campaign shared across test modules."""
+    return run_campaign(TINY_PLATFORM, [TINY_PATIENT],
+                        tiny_campaign_scenarios())
+
+
+@pytest.fixture(scope="session")
+def tiny_fault_free_traces():
+    """One 60-step fault-free reference run for the shared patient."""
+    return run_fault_free(TINY_PLATFORM, [TINY_PATIENT], (120.0,), n_steps=60)
+
+
+def _assert_traces_equal(a, b):
+    """Element-wise equality of two SimulationTraces (every field)."""
+    assert a.platform == b.platform
+    assert a.patient_id == b.patient_id
+    assert a.label == b.label
+    assert a.dt == b.dt
+    assert a.fault == b.fault
+    for f in dataclasses.fields(a):
+        v1, v2 = getattr(a, f.name), getattr(b, f.name)
+        if isinstance(v1, np.ndarray):
+            assert np.array_equal(v1, v2), f"field {f.name} differs"
+
+
+@pytest.fixture(scope="session")
+def assert_traces_equal():
+    """The canonical trace-equality assertion used by every parity suite."""
+    return _assert_traces_equal

@@ -124,12 +124,9 @@ class TestFitOne:
 
 class TestLearnFromTraces:
     @pytest.fixture(scope="class")
-    def hazardous_traces(self):
-        from repro.fi import CampaignConfig, generate_campaign
-        from repro.simulation import run_campaign
-        config = CampaignConfig(init_glucose_values=(120.0, 200.0),
-                                timing_choices=((0, 24), (40, 30)))
-        return run_campaign("glucosym", ["B"], generate_campaign(config))
+    def hazardous_traces(self, tiny_campaign_traces):
+        # the session-scoped shared campaign (simulated once, see conftest)
+        return tiny_campaign_traces
 
     def test_unknown_loss_rejected(self, hazardous_traces):
         with pytest.raises(KeyError, match="unknown loss"):
@@ -154,10 +151,8 @@ class TestLearnFromTraces:
         for n, w in zip(narrow, wide):
             assert n.count <= w.count
 
-    def test_safe_traces_contribute_nothing(self):
-        from repro.simulation import run_fault_free
-        traces = run_fault_free("glucosym", ["B"], (120.0,), n_steps=60)
-        samples = mine_rule_samples(traces)
+    def test_safe_traces_contribute_nothing(self, tiny_fault_free_traces):
+        samples = mine_rule_samples(tiny_fault_free_traces)
         assert all(s.count == 0 for s in samples)
 
     def test_invalid_window(self, hazardous_traces):

@@ -5,7 +5,6 @@ import pytest
 
 from repro.controllers import ControlAction
 from repro.core import ContextVector
-from repro.fi import CampaignConfig, generate_campaign
 from repro.hazards import HazardType
 from repro.ml import (
     FEATURE_NAMES,
@@ -16,14 +15,12 @@ from repro.ml import (
     trace_features,
     train_dt_monitor,
 )
-from repro.simulation import run_campaign
 
 
 @pytest.fixture(scope="module")
-def small_traces():
-    config = CampaignConfig(init_glucose_values=(120.0, 200.0),
-                            timing_choices=((0, 24), (40, 30)))
-    return run_campaign("glucosym", ["B"], generate_campaign(config))
+def small_traces(tiny_campaign_traces):
+    # the session-scoped shared campaign (simulated once, see conftest)
+    return tiny_campaign_traces
 
 
 class TestFeatures:

@@ -1,6 +1,8 @@
-"""Tests for the parallel campaign execution engine."""
+"""Tests for the parallel campaign execution engine.
 
-import dataclasses
+Trace equality uses the shared ``assert_traces_equal`` fixture from the
+session conftest (the same assertion every parity suite uses).
+"""
 
 import numpy as np
 import pytest
@@ -35,18 +37,6 @@ def small_campaign(n=6):
         stride=1, init_glucose_values=(100.0, 160.0),
         timing_choices=((5, 4), (10, 6))))
     return scenarios[:n]
-
-
-def assert_traces_equal(a, b):
-    assert a.platform == b.platform
-    assert a.patient_id == b.patient_id
-    assert a.label == b.label
-    assert a.dt == b.dt
-    assert a.fault == b.fault
-    for f in dataclasses.fields(a):
-        v1, v2 = getattr(a, f.name), getattr(b, f.name)
-        if isinstance(v1, np.ndarray):
-            assert np.array_equal(v1, v2), f"field {f.name} differs"
 
 
 class TestPlanning:
@@ -101,7 +91,7 @@ class TestSharding:
 class TestParity:
     """The acceptance property: worker count never changes the traces."""
 
-    def test_serial_vs_parallel_identical(self):
+    def test_serial_vs_parallel_identical(self, assert_traces_equal):
         scenarios = small_campaign()
         plan = plan_campaign("glucosym", ["A", "B"], scenarios, n_steps=25)
         serial = SerialExecutor().run(plan)
@@ -110,7 +100,7 @@ class TestParity:
         for s, p in zip(serial, parallel):
             assert_traces_equal(s, p)
 
-    def test_worker_count_invariance(self):
+    def test_worker_count_invariance(self, assert_traces_equal):
         scenarios = small_campaign(4)
         plan = plan_campaign("glucosym", ["A"], scenarios, n_steps=25)
         two = ParallelExecutor(workers=2, chunks_per_worker=1).run(plan)
@@ -118,7 +108,7 @@ class TestParity:
         for a, b in zip(two, three):
             assert_traces_equal(a, b)
 
-    def test_run_campaign_workers_kwarg(self):
+    def test_run_campaign_workers_kwarg(self, assert_traces_equal):
         scenarios = small_campaign(4)
         serial = run_campaign("glucosym", ["A"], scenarios, n_steps=25)
         parallel = run_campaign("glucosym", ["A"], scenarios, n_steps=25,
@@ -134,7 +124,7 @@ class TestParity:
 
 
 class TestSinks:
-    def test_list_sink_matches_return_value(self):
+    def test_list_sink_matches_return_value(self, assert_traces_equal):
         scenarios = small_campaign(3)
         traces = run_campaign("glucosym", ["A"], scenarios, n_steps=20)
         sink = ListSink()
@@ -171,7 +161,7 @@ class TestSinks:
         with pytest.raises(FileExistsError, match="intermix"):
             NpzDirectorySink(str(tmp_path))
 
-    def test_slow_sink_parallel_order_preserved(self):
+    def test_slow_sink_parallel_order_preserved(self, assert_traces_equal):
         """A consumer slower than the workers still sees plan order (the
         bounded in-flight window collects chunks in submission order)."""
         import time
@@ -299,13 +289,14 @@ class TestScenarioOrderIndependence:
             monitor_factory=lambda pid: StickyMonitor(),
             mitigator=mitigator, n_steps=40)
 
-    def test_monitor_and_mitigator_state_reset_between_scenarios(self):
+    def test_monitor_and_mitigator_state_reset_between_scenarios(
+            self, assert_traces_equal):
         first, second = self.scenarios()
         alone = self.run_one([second], EscalatingMitigator())[0]
         after_first = self.run_one([first, second], EscalatingMitigator())[1]
         assert_traces_equal(alone, after_first)
 
-    def test_order_permutation_gives_same_traces(self):
+    def test_order_permutation_gives_same_traces(self, assert_traces_equal):
         first, second = self.scenarios()
         forward = self.run_one([first, second], EscalatingMitigator())
         backward = self.run_one([second, first], EscalatingMitigator())
