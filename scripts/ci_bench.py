@@ -1,0 +1,174 @@
+"""CI benchmark-regression gate.
+
+Runs a small *fixed* benchmark configuration — the ``ci``-scale grids behind
+``benchmarks/bench_parallel_campaign.py`` and ``benchmarks/bench_table6_ml.py``
+— and writes ``BENCH_<sha>.json`` with per-benchmark wall time plus the
+process peak RSS.  The measurements are then compared against the committed
+``benchmarks/BENCH_baseline.json``: any benchmark more than ``TOLERANCE``
+(25%) slower than its baseline, or peak RSS more than 25% above it, fails
+the job.  The JSON is uploaded as a CI artifact either way, so every commit
+leaves a performance record.
+
+The baseline is calibrated on the CI runner class; after an intentional
+performance change (or a runner upgrade), refresh it with::
+
+    python scripts/ci_bench.py --update-baseline
+
+Run:  python scripts/ci_bench.py [--output BENCH_<sha>.json]
+"""
+
+import argparse
+import json
+import os
+import platform
+import resource
+import subprocess
+import sys
+import time
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.data import platform_data
+from repro.experiments.table6 import run_table6
+from repro.fi import CampaignConfig, generate_campaign
+from repro.patients import make_patient
+from repro.simulation import controller_profile, run_campaign
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_PATH = os.path.join(REPO_ROOT, "benchmarks", "BENCH_baseline.json")
+
+#: a benchmark may be this much slower than its committed baseline
+TOLERANCE = 0.25
+
+
+def git_sha() -> str:
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        return subprocess.check_output(["git", "rev-parse", "HEAD"],
+                                       cwd=REPO_ROOT, text=True).strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process (ru_maxrss is KiB on Linux,
+    bytes on macOS)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        peak /= 1024.0
+    return peak / 1024.0
+
+
+def run_benchmarks() -> dict:
+    """The fixed ``ci``-scale benchmark set, warmed and in a fixed order."""
+    config = ExperimentConfig.preset("ci")
+    # titrate controller profiles up front so every number below is
+    # steady-state throughput, not one-time setup cost
+    for pid in config.patients:
+        controller_profile(make_patient(config.platform, pid))
+    scenarios = generate_campaign(CampaignConfig(stride=config.stride))
+    results = {}
+
+    def timed(name, fn):
+        start = time.perf_counter()
+        fn()
+        results[name] = {"seconds": round(time.perf_counter() - start, 3)}
+        print(f"  {name}: {results[name]['seconds']}s", flush=True)
+
+    n = len(config.patients) * len(scenarios)
+    print(f"ci grid: {n} simulations", flush=True)
+    timed("campaign_serial",
+          lambda: run_campaign(config.platform, config.patients, scenarios,
+                               n_steps=config.n_steps))
+    timed("campaign_workers2",
+          lambda: run_campaign(config.platform, config.patients, scenarios,
+                               n_steps=config.n_steps, workers=2))
+    # warm the shared experiment cache so the table6 number measures the
+    # monitors (ML training jobs, threshold learning, replay) — the stage
+    # this repo's training layer parallelises — not re-simulation
+    platform_data(config)
+    timed("table6_ml", lambda: run_table6(config))
+    return results
+
+
+def check_against_baseline(results: dict, peak_mb: float,
+                           tolerance: float) -> list:
+    """Return a list of human-readable regression descriptions."""
+    if not os.path.exists(BASELINE_PATH):
+        return [f"no committed baseline at {BASELINE_PATH}; run "
+                "scripts/ci_bench.py --update-baseline and commit the result"]
+    with open(BASELINE_PATH) as fh:
+        baseline = json.load(fh)
+    regressions = []
+    for name, entry in baseline["benchmarks"].items():
+        if name not in results:
+            regressions.append(f"benchmark {name!r} in the baseline was not "
+                               "measured — ci_bench.py and the baseline are "
+                               "out of sync")
+            continue
+        allowed = entry["seconds"] * (1.0 + tolerance)
+        measured = results[name]["seconds"]
+        if measured > allowed:
+            regressions.append(
+                f"{name}: {measured}s exceeds baseline "
+                f"{entry['seconds']}s by more than {tolerance:.0%} "
+                f"(allowed {allowed:.2f}s)")
+    allowed_rss = baseline["peak_rss_mb"] * (1.0 + tolerance)
+    if peak_mb > allowed_rss:
+        regressions.append(
+            f"peak RSS {peak_mb:.1f} MB exceeds baseline "
+            f"{baseline['peak_rss_mb']} MB by more than {tolerance:.0%} "
+            f"(allowed {allowed_rss:.1f} MB)")
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default=None,
+                        help="result path (default: BENCH_<sha>.json)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help=f"write the measurements to {BASELINE_PATH} "
+                             "instead of gating against it")
+    parser.add_argument("--tolerance", type=float, default=TOLERANCE,
+                        help="allowed fractional slowdown (default 0.25)")
+    args = parser.parse_args(argv)
+
+    sha = git_sha()
+    results = run_benchmarks()
+    peak_mb = round(peak_rss_mb(), 1)
+    print(f"peak RSS: {peak_mb} MB", flush=True)
+    doc = {
+        "sha": sha,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "benchmarks": results,
+        "peak_rss_mb": peak_mb,
+    }
+
+    output = args.output or os.path.join(os.getcwd(), f"BENCH_{sha}.json")
+    with open(output, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+    print(f"wrote {output}")
+
+    if args.update_baseline:
+        baseline = dict(doc)
+        baseline.pop("sha")  # the baseline describes a config, not a commit
+        with open(BASELINE_PATH, "w", encoding="utf-8") as fh:
+            json.dump(baseline, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"updated {BASELINE_PATH}")
+        return 0
+
+    regressions = check_against_baseline(results, peak_mb, args.tolerance)
+    if regressions:
+        print("\nFAIL: benchmark regression(s) vs committed baseline:")
+        for line in regressions:
+            print(f"  - {line}")
+        return 1
+    print(f"\nOK: all benchmarks within {args.tolerance:.0%} of the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

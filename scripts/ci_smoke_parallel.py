@@ -1,4 +1,5 @@
-"""CI smoke check: parallel execution and the on-disk store must be exact.
+"""CI smoke check: parallel execution, the on-disk store and the training
+fan-out must all be exact.
 
 Runs the ``ci``-scale fault-injection grid through the serial executor and
 through a 2-worker process pool and asserts that the two trace streams are
@@ -8,6 +9,9 @@ traces are then streamed through a :class:`CampaignStoreWriter` into a
 temporary on-disk dataset, lazily reopened as a :class:`TraceDataset` and
 compared element-wise again (plus a plan-fingerprint check), so the
 write-once/replay-many store is covered by the same every-push smoke.
+Finally the DT/MLP/LSTM :class:`TrainingJob` grid is trained serially and
+through the worker pool and the resulting monitors are compared parameter
+by parameter — the training-parity contract of ``repro.ml.training``.
 
 Run:  python scripts/ci_smoke_parallel.py [workers]
 """
@@ -20,7 +24,9 @@ import time
 import numpy as np
 
 from repro.experiments import ExperimentConfig
+from repro.experiments.data import ml_baseline_jobs
 from repro.fi import CampaignConfig, generate_campaign
+from repro.ml import monitor_state, run_training_jobs
 from repro.simulation import (CampaignStoreWriter, TraceDataset,
                               plan_campaign, plan_fingerprint, run_campaign)
 
@@ -101,6 +107,31 @@ def main() -> int:
         print(f"store: write {t_write:.2f}s, lazy reread {t_read:.2f}s, "
               f"max {dataset.stats.max_resident} traces resident — "
               f"all {n_expected} roundtripped identically")
+
+    # training parity: the TrainingJob fan-out must produce element-wise
+    # identical monitors (every weight, every split) at any worker count
+    jobs = ml_baseline_jobs(config)
+    start = time.perf_counter()
+    trained_serial = run_training_jobs(jobs, serial)
+    t_train_serial = time.perf_counter() - start
+    start = time.perf_counter()
+    trained_parallel = run_training_jobs(jobs, serial, workers=workers)
+    t_train_parallel = time.perf_counter() - start
+    print(f"training: {len(jobs)} jobs, serial {t_train_serial:.2f}s, "
+          f"{workers} workers {t_train_parallel:.2f}s")
+    for a, b in zip(trained_serial, trained_parallel):
+        if a.job != b.job or a.n_samples != b.n_samples:
+            print(f"FAIL: job order/metadata diverged for {a.name}")
+            return 1
+        state_a, state_b = monitor_state(a.monitor), monitor_state(b.monitor)
+        if len(state_a) != len(state_b) or any(
+                not np.array_equal(x, y) for x, y in zip(state_a, state_b)):
+            print(f"FAIL: {a.name} monitor trained with {workers} workers "
+                  "differs from the serial fit")
+            return 1
+    print(f"OK: all {len(jobs)} training jobs "
+          f"({', '.join(t.name for t in trained_serial)}) element-wise "
+          "identical at any worker count")
     return 0
 
 

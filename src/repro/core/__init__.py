@@ -8,6 +8,7 @@ from .learning import (
     LearningResult,
     RuleSamples,
     ThresholdFit,
+    learn_fold_thresholds,
     learn_thresholds,
     mae_loss,
     mine_rule_samples,
@@ -42,6 +43,7 @@ __all__ = [
     "LearningResult",
     "RuleSamples",
     "ThresholdFit",
+    "learn_fold_thresholds",
     "learn_thresholds",
     "mae_loss",
     "mine_rule_samples",

@@ -45,16 +45,22 @@ class ExperimentConfig:
     seed:
         Seed for ML training.
     workers:
-        Process-pool size for campaign simulation, monitor replay and
-        threshold learning (1 = serial).  Results are identical for every
-        worker count, so this is excluded from :meth:`cache_key`.
+        Process-pool size for campaign simulation, monitor replay,
+        threshold learning — including the per-fold fits of
+        :func:`~repro.core.learn_fold_thresholds` — and the DT/MLP/LSTM
+        training jobs (:func:`~repro.ml.run_training_jobs`); 1 = serial.
+        Results are element-wise identical for every worker count, so
+        this is excluded from :meth:`cache_key`.
     dataset_dir:
         When set, campaign and fault-free traces are streamed into an
         on-disk dataset under this root (one subdirectory per
         :meth:`dataset_slug`) on the first run and lazily reopened —
         without resimulating — by every later experiment invocation, in
-        this process or the next ("run once, replay many").  Traces are
-        identical to the in-memory path, so this too is excluded from
+        this process or the next ("run once, replay many").  The ML
+        feature matrices are likewise materialised memory-mapped under
+        ``<slug>/ml/`` so training workers share pages instead of
+        holding private copies.  Traces and matrices are identical to
+        the in-memory path, so this too is excluded from
         :meth:`cache_key`.
     """
 

@@ -28,10 +28,11 @@ from typing import Callable, Dict, List, Sequence, Tuple
 import numpy as np
 
 from ..baselines import GuidelineMonitor, MPCMonitor
-from ..core import cawot_monitor, cawt_monitor, learn_thresholds
+from ..core import (cawot_monitor, cawt_monitor, learn_fold_thresholds,
+                    learn_thresholds)
 from ..core.monitor import SafetyMonitor
 from ..fi import CampaignConfig, INITIAL_GLUCOSE_VALUES, generate_campaign
-from ..ml import train_dt_monitor, train_lstm_monitor, train_mlp_monitor
+from ..ml import TrainingJob, run_training_jobs
 from ..simulation import (BASELINE_CACHE, CampaignStoreError,
                           CampaignStoreWriter, TraceDataset, kfold_split,
                           plan_campaign, plan_fault_free, plan_fingerprint,
@@ -40,8 +41,8 @@ from ..simulation.store import manifest_path
 from .config import ExperimentConfig
 
 __all__ = ["PlatformData", "platform_data", "clear_cache",
-           "cawt_cv_replay", "baseline_monitors", "ml_monitors",
-           "train_test_split"]
+           "cawt_cv_replay", "baseline_monitors", "ml_baseline_jobs",
+           "ml_monitors", "train_test_split"]
 
 _DATA_CACHE: Dict[tuple, "PlatformData"] = {}
 _ML_CACHE: Dict[tuple, Dict[str, SafetyMonitor]] = {}
@@ -184,11 +185,13 @@ def cawt_cv_replay(data: PlatformData,
     for pid in config.patients:
         patient_traces = data.by_patient[pid]
         ff = list(data.fault_free_by_patient[pid])
-        for fold in range(config.folds):
-            train, test = kfold_split(patient_traces, config.folds, fold)
-            result = learn_thresholds(train + ff, loss=loss,
-                                      window=config.mining_window,
-                                      workers=config.workers)
+        # the per-fold fits are independent, so the folds — not just the
+        # sample mining inside each fit — fan out across the pool
+        fold_results = learn_fold_thresholds(
+            patient_traces, config.folds, fault_free=ff, loss=loss,
+            window=config.mining_window, workers=config.workers)
+        for fold, result in enumerate(fold_results):
+            _, test = kfold_split(patient_traces, config.folds, fold)
             monitor = cawt_monitor(result.thresholds)
             alerts.extend(replay_many(monitor, test,
                                       workers=config.workers))
@@ -232,22 +235,42 @@ def train_test_split(data: PlatformData) -> Tuple[Sequence, Sequence]:
     return kfold_split(traces, k, 0)
 
 
+def ml_baseline_jobs(config: ExperimentConfig,
+                     multiclass: bool = False) -> List[TrainingJob]:
+    """The Table VI training grid as :class:`~repro.ml.TrainingJob`s:
+    DT/MLP/LSTM on the fold-0 training split of the campaign."""
+    common = dict(fold=0, folds=config.folds, multiclass=multiclass,
+                  seed=config.seed)
+    return [
+        TrainingJob.make("dt", max_depth=8, **common),
+        TrainingJob.make("mlp", max_epochs=config.ml_epochs, **common),
+        TrainingJob.make("lstm", window=config.lstm_window,
+                         max_epochs=config.ml_epochs, **common),
+    ]
+
+
 def ml_monitors(data: PlatformData,
                 multiclass: bool = False) -> Dict[str, SafetyMonitor]:
-    """Trained DT/MLP/LSTM monitors (cached per config and head type)."""
+    """Trained DT/MLP/LSTM monitors (cached per config and head type).
+
+    The three fits run as a :func:`~repro.ml.run_training_jobs` fan-out:
+    ``config.workers`` processes train concurrently with element-wise
+    identical results to the serial loop.  When the config is
+    store-backed (``dataset_dir``), the feature matrices are materialised
+    memory-mapped next to the campaign shards (``.../ml/``) — built once,
+    page-shared by every worker and every later invocation.
+    """
     key = data.config.cache_key() + (data.config.ml_epochs, multiclass)
     if key in _ML_CACHE:
         return _ML_CACHE[key]
-    train, _ = train_test_split(data)
     config = data.config
-    monitors = {
-        "DT": train_dt_monitor(train, multiclass=multiclass, max_depth=8),
-        "MLP": train_mlp_monitor(train, multiclass=multiclass,
-                                 seed=config.seed,
-                                 max_epochs=config.ml_epochs),
-        "LSTM": train_lstm_monitor(train, k=config.lstm_window,
-                                   multiclass=multiclass, seed=config.seed,
-                                   max_epochs=config.ml_epochs),
-    }
+    mmap_root = None
+    if config.dataset_dir:
+        mmap_root = os.path.join(config.dataset_dir, config.dataset_slug(),
+                                 "ml")
+    trained = run_training_jobs(ml_baseline_jobs(config, multiclass),
+                                data.traces, workers=config.workers,
+                                mmap_root=mmap_root)
+    monitors = {t.name: t.monitor for t in trained}
     _ML_CACHE[key] = monitors
     return monitors

@@ -5,6 +5,11 @@ raised its first alert.  The paper's headline observations: the CAWT monitor
 reacts about two hours early with the lowest standard deviation; Guideline
 and MPC react late and erratically; ML monitors react early but with
 unstable spread and a slightly lower early-detection rate.
+
+``config.workers`` parallelises every expensive stage here: per-fold CAWT
+threshold fits (:func:`~repro.core.learn_fold_thresholds` inside
+``cawt_cv_replay``), the DT/MLP/LSTM training jobs behind ``ml_monitors``,
+and all monitor replay — each element-wise identical to its serial path.
 """
 
 from __future__ import annotations

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..core import cawt_monitor, learn_thresholds
+from ..core import cawt_monitor, learn_fold_thresholds, learn_thresholds
 from ..metrics import reaction_stats, traces_confusion
 from ..simulation import kfold_split, replay_many
 from .config import ExperimentConfig
@@ -36,14 +36,16 @@ def run_table8(config: ExperimentConfig,
         patient_traces = data.by_patient[pid]
         ff = list(data.fault_free_by_patient[pid])
 
-        # patient-specific: k-fold CV within the patient's own traces
+        # patient-specific: k-fold CV within the patient's own traces,
+        # the folds fitted concurrently (identical thresholds at any
+        # worker count, see learn_fold_thresholds)
         eval_traces, alerts = [], []
-        for fold in range(config.folds):
-            train, test = kfold_split(patient_traces, config.folds, fold)
-            thresholds = learn_thresholds(
-                train + ff, window=config.mining_window,
-                workers=config.workers).thresholds
-            alerts.extend(replay_many(cawt_monitor(thresholds), test,
+        fold_results = learn_fold_thresholds(
+            patient_traces, config.folds, fault_free=ff,
+            window=config.mining_window, workers=config.workers)
+        for fold, learned in enumerate(fold_results):
+            _, test = kfold_split(patient_traces, config.folds, fold)
+            alerts.extend(replay_many(cawt_monitor(learned.thresholds), test,
                                       workers=config.workers))
             eval_traces.extend(test)
         cm = traces_confusion(eval_traces, alerts, delta=config.tolerance)

@@ -1,0 +1,187 @@
+"""Streaming ``.npy`` writers and memory-mapped dataset directories.
+
+The ML monitors train on feature matrices stacked over every cycle of every
+campaign trace; at the paper's full scale (882 injections x 10 patients x
+150 cycles) a single point dataset is ~10M rows and the window dataset is k
+times that.  Materialising those in RAM per training job — and pickling
+them into every worker — is the scaling wall this module removes:
+
+- :class:`NpyStreamWriter` writes a standard ``.npy`` file row-block by
+  row-block without knowing the row count up front.  The header is written
+  once with the row count padded to a fixed width and patched in place on
+  close, so the result is a byte-valid array any ``np.load`` can read —
+  including with ``mmap_mode="r"``.
+- :func:`open_memmap_array` reopens such a file as a read-only
+  ``np.memmap``, turning shard loads into page faults: forked training
+  workers inherit the mapping and *share* the physical pages instead of
+  each holding (or being pickled) a private copy.
+- :func:`read_meta` / :func:`write_meta` manage the ``meta.json`` sidecar
+  that makes a dataset directory self-describing (and lets a rebuild
+  detect that an existing directory answers a *different* dataset
+  request).  Like the campaign store's manifest, the sidecar is written
+  last and atomically: a directory without one is an interrupted build,
+  never silently trusted.
+
+The dataset-specific builders (:func:`repro.ml.datasets.build_point_dataset`
+/ ``build_window_dataset`` with ``mmap_dir=``) sit on top of these
+primitives.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Mapping, Tuple
+
+import numpy as np
+from numpy.lib import format as npy_format
+
+__all__ = ["MemmapDatasetError", "NpyStreamWriter", "open_memmap_array",
+           "META_NAME", "meta_path", "read_meta", "write_meta"]
+
+#: bump when the sidecar layout or array schema changes
+MEMMAP_SCHEMA_VERSION = 1
+
+META_NAME = "meta.json"
+
+_MAGIC = b"\x93NUMPY\x01\x00"
+
+#: fixed character width the row count is padded to inside the header dict,
+#: so the placeholder and the final header are byte-for-byte the same size
+#: (wide enough for any int64 count)
+_COUNT_WIDTH = 21
+
+
+class MemmapDatasetError(RuntimeError):
+    """A memory-mapped dataset is missing, corrupted, or answers a
+    different dataset request than the caller's."""
+
+
+def meta_path(directory: str) -> str:
+    return os.path.join(directory, META_NAME)
+
+
+class NpyStreamWriter:
+    """Append row blocks to a growing ``.npy`` file.
+
+    The npy format stores the array shape inside its header, which normally
+    forces writers to know the row count up front.  This writer reserves a
+    fixed-width row-count field instead: the header is laid down immediately
+    (so appends are plain sequential writes) and patched with the final
+    count on :meth:`close`.  Only C-order appends along axis 0 are
+    supported; every block must match the writer's ``row_shape``/``dtype``.
+
+    Use as a context manager: on an exception the partial file is removed,
+    so a crashed build can never masquerade as a complete array.
+    """
+
+    def __init__(self, path: str, row_shape: Tuple[int, ...],
+                 dtype=np.float64):
+        self.path = path
+        self.row_shape = tuple(int(s) for s in row_shape)
+        self.dtype = np.dtype(dtype)
+        if self.dtype.hasobject:
+            raise ValueError("object dtypes cannot be memory-mapped")
+        self.n_rows = 0
+        self._closed = False
+        self._fh = open(path, "wb")
+        self._fh.write(self._header_bytes(0))
+
+    def _header_bytes(self, n_rows: int) -> bytes:
+        descr = npy_format.dtype_to_descr(self.dtype)
+        count = str(int(n_rows)).ljust(_COUNT_WIDTH)
+        dims = "".join(f", {d}" for d in self.row_shape) or ","
+        header = (f"{{'descr': {descr!r}, 'fortran_order': False, "
+                  f"'shape': ({count}{dims}), }}").encode("latin1")
+        # total header (magic + length word + dict + newline) padded to a
+        # 64-byte multiple, as the npy spec recommends for mmap alignment
+        pad = -(len(_MAGIC) + 2 + len(header) + 1) % 64
+        header += b" " * pad + b"\n"
+        return _MAGIC + len(header).to_bytes(2, "little") + header
+
+    def append(self, block: np.ndarray) -> None:
+        """Append ``block`` (shape ``(m, *row_shape)``) to the array."""
+        if self._closed:
+            raise MemmapDatasetError(f"writer for {self.path} is closed")
+        block = np.asarray(block)
+        if block.shape[1:] != self.row_shape:
+            raise ValueError(
+                f"block rows have shape {block.shape[1:]}, writer expects "
+                f"{self.row_shape}")
+        self._fh.write(np.ascontiguousarray(block, dtype=self.dtype).tobytes())
+        self.n_rows += len(block)
+
+    def abort(self) -> None:
+        """Discard the write and remove the partial file."""
+        if self._closed:
+            return
+        self._closed = True
+        self._fh.close()
+        if os.path.exists(self.path):
+            os.remove(self.path)
+
+    def close(self) -> None:
+        """Patch the final row count into the header and finish the file."""
+        if self._closed:
+            return
+        self._fh.flush()
+        self._fh.seek(0)
+        self._fh.write(self._header_bytes(self.n_rows))
+        self._fh.close()
+        self._closed = True
+
+    def __enter__(self) -> "NpyStreamWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
+
+
+def open_memmap_array(path: str) -> np.ndarray:
+    """Reopen a ``.npy`` file as a read-only memory map.
+
+    Corruption surfaces here, not as downstream garbage: a mangled header
+    (bad magic, unparsable dict) and a truncated payload (header promises
+    more rows than the file holds) both raise :class:`MemmapDatasetError`.
+    """
+    if not os.path.exists(path):
+        raise MemmapDatasetError(f"missing dataset array {path}")
+    try:
+        return np.load(path, mmap_mode="r", allow_pickle=False)
+    except (ValueError, OSError) as exc:
+        raise MemmapDatasetError(
+            f"corrupted dataset array {path}: {exc}") from exc
+
+
+def read_meta(directory: str) -> Mapping:
+    """Load and validate the ``meta.json`` sidecar of a dataset directory."""
+    path = meta_path(directory)
+    if not os.path.exists(path):
+        raise MemmapDatasetError(
+            f"no dataset sidecar at {path}; either this is not a dataset "
+            "directory or a build was interrupted — remove it and rebuild")
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            meta = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise MemmapDatasetError(
+            f"unreadable dataset sidecar at {path}: {exc}") from exc
+    version = meta.get("schema_version")
+    if version != MEMMAP_SCHEMA_VERSION:
+        raise MemmapDatasetError(
+            f"dataset at {directory} has schema version {version!r}; this "
+            f"reader supports {MEMMAP_SCHEMA_VERSION}")
+    return meta
+
+
+def write_meta(directory: str, meta: Mapping) -> None:
+    """Atomically write the sidecar that finalises a dataset directory."""
+    doc = {"schema_version": MEMMAP_SCHEMA_VERSION}
+    doc.update(meta)
+    tmp = meta_path(directory) + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+    os.replace(tmp, meta_path(directory))

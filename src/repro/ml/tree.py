@@ -176,6 +176,28 @@ class DecisionTreeClassifier:
         proba = self.predict_proba(X)
         return self.classes_[np.argmax(proba, axis=1)]
 
+    def node_arrays(self):
+        """Preorder flattening of the fitted tree into three arrays:
+        ``(features, thresholds, counts)`` with one row per node (leaves
+        carry feature -1).  Two trees are structurally identical iff all
+        three are element-wise equal — the exact-equality form the
+        training parity suite compares."""
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        features, thresholds, counts = [], [], []
+
+        def visit(node: _Node) -> None:
+            features.append(node.feature)
+            thresholds.append(node.threshold)
+            counts.append(node.counts)
+            if not node.is_leaf:
+                visit(node.left)
+                visit(node.right)
+
+        visit(self._root)
+        return (np.asarray(features), np.asarray(thresholds),
+                np.stack(counts))
+
     @property
     def depth_(self) -> int:
         def depth(node, d):

@@ -45,13 +45,13 @@ from ..core.monitor import SafetyMonitor
 from ..fi import FaultInjector, FaultSpec, InjectionScenario
 from ..parallel import fork_map_chunks, resolve_workers, shard_indices
 from .scenario import Scenario
-from .trace import SimulationTrace, trace_to_arrays
+from .trace import SimulationTrace, trace_to_arrays, trace_to_struct
 
 __all__ = [
     "SimRun", "CampaignPlan", "plan_campaign", "plan_fault_free",
     "shard_plan", "ProfileCache", "BaselineCache", "PROFILE_CACHE",
     "BASELINE_CACHE", "TraceSink", "ListSink", "CountingSink",
-    "NpzDirectorySink", "CampaignExecutor", "SerialExecutor",
+    "NpzDirectorySink", "NpyDirectorySink", "CampaignExecutor", "SerialExecutor",
     "ParallelExecutor", "get_executor",
 ]
 
@@ -284,11 +284,15 @@ class NpzDirectorySink(TraceSink):
     get a reopenable on-disk dataset.
     """
 
+    #: shard filename extension (subclasses override)
+    suffix = "npz"
+
     def __init__(self, directory: str):
         self.directory = directory
         os.makedirs(directory, exist_ok=True)
         stale = [name for name in os.listdir(directory)
-                 if name.startswith("trace_") and name.endswith(".npz")]
+                 if name.startswith("trace_")
+                 and name.endswith((".npz", ".npy"))]
         if stale:
             raise FileExistsError(
                 f"{directory} already holds {len(stale)} trace file(s); "
@@ -296,14 +300,36 @@ class NpzDirectorySink(TraceSink):
                 "directory or remove them first")
         self.n_written = 0
 
-    @staticmethod
-    def shard_name(index: int) -> str:
-        return f"trace_{index:09d}.npz"
+    @classmethod
+    def shard_name(cls, index: int) -> str:
+        return f"trace_{index:09d}.{cls.suffix}"
+
+    def _write_shard(self, path: str, trace: SimulationTrace) -> None:
+        np.savez_compressed(path, **trace_to_arrays(trace))
 
     def write(self, trace: SimulationTrace) -> None:
         path = os.path.join(self.directory, self.shard_name(self.n_written))
-        np.savez_compressed(path, **trace_to_arrays(trace))
+        self._write_shard(path, trace)
         self.n_written += 1
+
+
+class NpyDirectorySink(NpzDirectorySink):
+    """Stream each trace to an *uncompressed* ``trace_<index>.npy`` shard.
+
+    The payload is the :func:`~repro.simulation.trace.trace_to_struct`
+    structured array — channels only, no identity metadata — so unlike the
+    npz shards these files are not self-describing: pair them with a
+    :class:`repro.simulation.store.CampaignStoreWriter` (which records the
+    metadata in its manifest, ``shard_format="npy"``).  The payoff is on
+    the read side: the store's lazy reader opens them with
+    ``mmap_mode="r"`` and every channel access is a zero-copy view of the
+    page cache, making replay-heavy loops immune to decompression cost.
+    """
+
+    suffix = "npy"
+
+    def _write_shard(self, path: str, trace: SimulationTrace) -> None:
+        np.save(path, trace_to_struct(trace))
 
 
 # ----------------------------------------------------------------------

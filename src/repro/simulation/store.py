@@ -6,8 +6,9 @@ builder over the recorded traces.  This module turns that "run once" step
 into a durable artifact:
 
 - :class:`CampaignStoreWriter` streams traces (in plan order, from any
-  executor and worker count) into per-trace ``.npz`` shards via
-  :class:`~repro.simulation.executor.NpzDirectorySink` and finalises a
+  executor and worker count) into per-trace shards — compressed ``.npz``
+  (default) or uncompressed structured ``.npy`` for zero-copy
+  ``mmap_mode="r"`` reads (``shard_format="npy"``) — and finalises a
   ``manifest.json`` keyed by patient / scenario / fold, carrying a schema
   version and a campaign fingerprint;
 - :class:`TraceDataset` reopens the directory as a lazy, bounded-memory
@@ -36,9 +37,10 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
-from ..fi import FaultSpec
-from .executor import CampaignPlan, NpzDirectorySink, TraceSink
-from .trace import SimulationTrace, trace_from_arrays
+from ..fi import FaultKind, FaultSpec, FaultTarget
+from .executor import (CampaignPlan, NpyDirectorySink, NpzDirectorySink,
+                       TraceSink)
+from .trace import SimulationTrace, trace_from_arrays, trace_from_struct
 
 __all__ = [
     "SCHEMA_VERSION", "MANIFEST_NAME", "CampaignStoreError",
@@ -112,15 +114,36 @@ def _entry_cell(entry: Mapping) -> Cell:
     return (entry["patient_id"], entry["label"], fault)
 
 
+def _entry_fault(entry: Mapping) -> Optional[FaultSpec]:
+    """Rebuild the FaultSpec a manifest entry records (None if fault-free)."""
+    fault = entry.get("fault")
+    if fault is None:
+        return None
+    return FaultSpec(kind=FaultKind(fault["kind"]),
+                     target=FaultTarget(fault["target"]),
+                     start_step=int(fault["start_step"]),
+                     duration_steps=int(fault["duration_steps"]),
+                     value=float(fault["value"]))
+
+
 # ----------------------------------------------------------------------
 # writer
 # ----------------------------------------------------------------------
 
+#: shard_format -> directory sink that writes it
+_SHARD_SINKS = {"npz": NpzDirectorySink, "npy": NpyDirectorySink}
+
+
 class CampaignStoreWriter(TraceSink):
     """Stream a campaign into *directory* and finalise its manifest.
 
-    Wraps an :class:`NpzDirectorySink` (which refuses directories already
-    holding trace shards) and records one manifest entry per trace.  When
+    Wraps a shard directory sink (which refuses directories already
+    holding trace shards) and records one manifest entry per trace.
+    ``shard_format`` selects the payload: ``"npz"`` (default) writes
+    compressed self-describing shards, ``"npy"`` writes uncompressed
+    structured arrays the reader reopens with ``mmap_mode="r"`` for
+    zero-copy channel access — larger on disk, much cheaper on hot
+    replay loops.  When
     *folds* is given, each entry also carries the trace's round-robin
     cross-validation fold *within its patient* — the same assignment
     :func:`~repro.simulation.batch.kfold_split` produces on a patient's
@@ -135,9 +158,13 @@ class CampaignStoreWriter(TraceSink):
     """
 
     def __init__(self, directory: str, platform: str, n_steps: int,
-                 folds: Optional[int] = None):
+                 folds: Optional[int] = None, shard_format: str = "npz"):
         if folds is not None and folds < 2:
             raise ValueError(f"folds must be >= 2, got {folds}")
+        if shard_format not in _SHARD_SINKS:
+            raise ValueError(
+                f"unknown shard_format {shard_format!r}; available: "
+                f"{sorted(_SHARD_SINKS)}")
         if os.path.exists(manifest_path(directory)):
             raise CampaignStoreError(
                 f"{directory} already holds a campaign manifest; "
@@ -145,8 +172,9 @@ class CampaignStoreWriter(TraceSink):
         self.platform = platform
         self.n_steps = int(n_steps)
         self.folds = folds
+        self.shard_format = shard_format
         try:
-            self._sink = NpzDirectorySink(directory)
+            self._sink = _SHARD_SINKS[shard_format](directory)
         except FileExistsError as exc:
             raise CampaignStoreError(
                 f"{directory} holds trace shards but no manifest — the "
@@ -188,10 +216,10 @@ class CampaignStoreWriter(TraceSink):
                      "start_step": trace.fault.start_step,
                      "duration_steps": trace.fault.duration_steps,
                      "value": trace.fault.value}
-        self._entries.append({"file": NpzDirectorySink.shard_name(index),
+        self._entries.append({"file": self._sink.shard_name(index),
                               "patient_id": trace.patient_id,
-                              "label": trace.label, "fold": fold,
-                              "fault": fault})
+                              "label": trace.label, "dt": trace.dt,
+                              "fold": fold, "fault": fault})
 
     def abort(self) -> None:
         """Discard the write: no manifest is (or can later be) produced."""
@@ -213,6 +241,7 @@ class CampaignStoreWriter(TraceSink):
         manifest = {"schema_version": SCHEMA_VERSION,
                     "fingerprint": fingerprint, "platform": self.platform,
                     "n_steps": self.n_steps, "folds": self.folds,
+                    "shard_format": self.shard_format,
                     "n_traces": len(self._entries), "traces": self._entries}
         # write-then-rename so a torn write never yields a parsable manifest
         tmp = manifest_path(self.directory) + ".tmp"
@@ -270,6 +299,13 @@ class TraceDataset(SequenceABC):
         self.platform: str = manifest["platform"]
         self.n_steps: int = int(manifest["n_steps"])
         self.folds: Optional[int] = manifest.get("folds")
+        # manifests written before the npy option exist without the key
+        self.shard_format: str = manifest.get("shard_format", "npz")
+        if self.shard_format not in _SHARD_SINKS:
+            raise CampaignStoreError(
+                f"dataset at {directory} uses shard format "
+                f"{self.shard_format!r}; this reader supports "
+                f"{sorted(_SHARD_SINKS)}")
         self._entries: List[dict] = list(manifest["traces"])
         if len(self._entries) != int(manifest.get("n_traces",
                                                   len(self._entries))):
@@ -320,6 +356,42 @@ class TraceDataset(SequenceABC):
             raise CampaignStoreError(
                 f"missing shard {entry['file']} (trace {index}) in "
                 f"{self.directory}")
+        trace = self._decode(path, entry, index)
+        self.stats.n_loads += 1
+        self._cache[index] = trace
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+            self.stats.evictions += 1
+        self.stats.max_resident = max(self.stats.max_resident,
+                                      len(self._cache))
+        return trace
+
+    def _decode(self, path: str, entry: Mapping,
+                index: int) -> SimulationTrace:
+        """Decode one shard according to the manifest's shard format.
+
+        npz shards are self-describing and cross-checked against their
+        manifest entry; npy shards hold channels only (zero-copy
+        memory-mapped columns) with identity rebuilt *from* the entry, so
+        the cross-check reduces to shape/field validation.
+        """
+        if self.shard_format == "npy":
+            try:
+                payload = np.load(path, mmap_mode="r", allow_pickle=False)
+                trace = trace_from_struct(
+                    payload, platform=self.platform,
+                    patient_id=entry["patient_id"], label=entry["label"],
+                    dt=float(entry["dt"]), fault=_entry_fault(entry))
+            except (OSError, ValueError, KeyError) as exc:
+                raise CampaignStoreError(
+                    f"corrupted shard {entry['file']} (trace {index}) in "
+                    f"{self.directory}: {exc}") from exc
+            if len(trace) != self.n_steps:
+                raise CampaignStoreError(
+                    f"shard {entry['file']} holds {len(trace)} steps but "
+                    f"the manifest expects {self.n_steps} (truncated or "
+                    "overwritten)")
+            return trace
         try:
             with np.load(path) as payload:
                 trace = trace_from_arrays(payload)
@@ -334,13 +406,6 @@ class TraceDataset(SequenceABC):
                 f"{trace.patient_id}/{trace.label!r} but the manifest "
                 f"expects {entry['patient_id']}/{entry['label']!r} "
                 "(shards shuffled or overwritten)")
-        self.stats.n_loads += 1
-        self._cache[index] = trace
-        while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
-            self.stats.evictions += 1
-        self.stats.max_resident = max(self.stats.max_resident,
-                                      len(self._cache))
         return trace
 
     # -- sequence protocol ----------------------------------------------
@@ -428,6 +493,11 @@ class TraceDatasetView(SequenceABC):
     def __iter__(self):
         for i in self._indices:
             yield self._dataset._load(i)
+
+    def subset(self, indices: Iterable[int]) -> "TraceDatasetView":
+        """A lazy sub-view (indices are relative to *this* view)."""
+        return TraceDatasetView(
+            self._dataset, tuple(self._indices[i] for i in indices))
 
     @property
     def stats(self) -> DatasetStats:

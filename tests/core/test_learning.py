@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.core import (
     LOSSES,
+    learn_fold_thresholds,
     learn_thresholds,
     mae_loss,
     mine_rule_samples,
@@ -158,3 +159,61 @@ class TestLearnFromTraces:
     def test_invalid_window(self, hazardous_traces):
         with pytest.raises(ValueError, match="window"):
             mine_rule_samples(hazardous_traces, window=0)
+
+
+def _assert_fits_equal(a, b):
+    """Field-wise ThresholdFit equality tolerating the NaN loss of
+    unfitted rules (NaN != NaN defeats plain dataclass equality)."""
+    assert len(a) == len(b)
+    for fa, fb in zip(a, b):
+        assert (fa.param, fa.value, fa.n_samples, fa.used_default,
+                fa.converged, fa.violations) == \
+               (fb.param, fb.value, fb.n_samples, fb.used_default,
+                fb.converged, fb.violations)
+        assert fa.loss == fb.loss or (np.isnan(fa.loss) and np.isnan(fb.loss))
+
+
+class TestFoldThresholds:
+    """Per-fold fan-out of the threshold learner (learn_fold_thresholds)."""
+
+    def test_matches_manual_kfold_loop(self, tiny_campaign_traces,
+                                       tiny_fault_free_traces):
+        from repro.simulation import kfold_split
+        folds = 3
+        ff = list(tiny_fault_free_traces)
+        results = learn_fold_thresholds(tiny_campaign_traces, folds,
+                                        fault_free=ff)
+        assert len(results) == folds
+        for fold, result in enumerate(results):
+            train, _ = kfold_split(tiny_campaign_traces, folds, fold)
+            expected = learn_thresholds(train + ff)
+            assert result.thresholds == expected.thresholds
+            _assert_fits_equal(result.fits, expected.fits)
+
+    def test_parallel_folds_identical_to_serial(self, tiny_campaign_traces):
+        serial = learn_fold_thresholds(tiny_campaign_traces, 4)
+        for workers in (2, 4):
+            parallel = learn_fold_thresholds(tiny_campaign_traces, 4,
+                                             workers=workers)
+            assert len(parallel) == len(serial)
+            for a, b in zip(serial, parallel):
+                assert a.thresholds == b.thresholds
+                _assert_fits_equal(a.fits, b.fits)
+
+    def test_folds_differ_from_each_other(self, tiny_campaign_traces):
+        """Different training sides must be able to learn different
+        thresholds — a sanity check that the split is actually applied."""
+        results = learn_fold_thresholds(tiny_campaign_traces, 2)
+        full = learn_thresholds(tiny_campaign_traces)
+        assert any(r.thresholds != full.thresholds for r in results)
+
+    def test_accepts_generators(self, tiny_campaign_traces):
+        lazy = (t for t in tiny_campaign_traces)
+        results = learn_fold_thresholds(lazy, 2)
+        expected = learn_fold_thresholds(tiny_campaign_traces, 2)
+        assert [r.thresholds for r in results] == \
+               [r.thresholds for r in expected]
+
+    def test_invalid_folds(self, tiny_campaign_traces):
+        with pytest.raises(ValueError, match="folds"):
+            learn_fold_thresholds(tiny_campaign_traces, 1)

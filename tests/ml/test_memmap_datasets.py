@@ -1,0 +1,227 @@
+"""Tests for memory-mapped dataset materialisation (repro.ml.memmap and
+the ``mmap_dir`` / ``workers`` paths of the dataset builders)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    MemmapDatasetError,
+    NpyStreamWriter,
+    build_point_dataset,
+    build_window_dataset,
+    open_memmap_array,
+)
+from repro.ml.memmap import meta_path, read_meta
+
+
+class TestNpyStreamWriter:
+    def test_roundtrips_appended_blocks(self, tmp_path):
+        path = str(tmp_path / "a.npy")
+        with NpyStreamWriter(path, (3,)) as writer:
+            writer.append(np.arange(6, dtype=float).reshape(2, 3))
+            writer.append(np.arange(6, 12, dtype=float).reshape(2, 3))
+        expected = np.arange(12, dtype=float).reshape(4, 3)
+        # both the plain loader and the mmap loader must agree
+        assert np.array_equal(np.load(path), expected)
+        assert np.array_equal(open_memmap_array(path), expected)
+
+    def test_three_dimensional_rows(self, tmp_path):
+        path = str(tmp_path / "w.npy")
+        blocks = np.arange(60, dtype=float).reshape(5, 4, 3)
+        with NpyStreamWriter(path, (4, 3)) as writer:
+            writer.append(blocks[:2])
+            writer.append(blocks[2:])
+        assert np.array_equal(np.load(path), blocks)
+
+    def test_scalar_rows_and_int_dtype(self, tmp_path):
+        path = str(tmp_path / "y.npy")
+        with NpyStreamWriter(path, (), dtype=np.int64) as writer:
+            writer.append(np.arange(7))
+        loaded = open_memmap_array(path)
+        assert loaded.shape == (7,)
+        assert loaded.dtype == np.int64
+
+    def test_empty_array_is_valid(self, tmp_path):
+        path = str(tmp_path / "e.npy")
+        NpyStreamWriter(path, (4,)).close()
+        assert open_memmap_array(path).shape == (0, 4)
+
+    def test_mismatched_block_shape_rejected(self, tmp_path):
+        with NpyStreamWriter(str(tmp_path / "m.npy"), (3,)) as writer:
+            with pytest.raises(ValueError, match="shape"):
+                writer.append(np.zeros((2, 4)))
+            writer.append(np.zeros((1, 3)))  # writer still usable
+
+    def test_exception_removes_partial_file(self, tmp_path):
+        path = str(tmp_path / "p.npy")
+        with pytest.raises(RuntimeError, match="boom"):
+            with NpyStreamWriter(path, (3,)) as writer:
+                writer.append(np.zeros((2, 3)))
+                raise RuntimeError("boom")
+        assert not os.path.exists(path)
+
+    def test_append_after_close_rejected(self, tmp_path):
+        writer = NpyStreamWriter(str(tmp_path / "c.npy"), (3,))
+        writer.close()
+        with pytest.raises(MemmapDatasetError, match="closed"):
+            writer.append(np.zeros((1, 3)))
+
+
+class TestOpenMemmapArray:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(MemmapDatasetError, match="missing"):
+            open_memmap_array(str(tmp_path / "nope.npy"))
+
+    def test_truncated_payload_detected(self, tmp_path):
+        path = str(tmp_path / "t.npy")
+        with NpyStreamWriter(path, (3,)) as writer:
+            writer.append(np.ones((8, 3)))
+        data = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(data[:-16])  # header promises more rows than exist
+        with pytest.raises(MemmapDatasetError, match="corrupted"):
+            open_memmap_array(path)
+
+    def test_garbage_header_detected(self, tmp_path):
+        path = str(tmp_path / "g.npy")
+        with open(path, "wb") as fh:
+            fh.write(b"this is not an npy file" * 10)
+        with pytest.raises(MemmapDatasetError, match="corrupted"):
+            open_memmap_array(path)
+
+    def test_result_is_read_only(self, tmp_path):
+        path = str(tmp_path / "r.npy")
+        with NpyStreamWriter(path, (2,)) as writer:
+            writer.append(np.ones((3, 2)))
+        loaded = open_memmap_array(path)
+        assert isinstance(loaded, np.memmap)
+        assert not loaded.flags.writeable
+
+
+class TestMmapBuilders:
+    """The ``mmap_dir`` streaming path vs the in-memory builders."""
+
+    def test_point_roundtrip_equality(self, tmp_path, tiny_campaign_traces):
+        X_mem, y_mem = build_point_dataset(tiny_campaign_traces)
+        X, y = build_point_dataset(tiny_campaign_traces,
+                                   mmap_dir=str(tmp_path / "pt"))
+        assert isinstance(X, np.memmap) and isinstance(y, np.memmap)
+        assert np.array_equal(X_mem, X)
+        assert np.array_equal(y_mem, y)
+
+    def test_window_roundtrip_equality(self, tmp_path, tiny_campaign_traces):
+        X_mem, y_mem = build_window_dataset(tiny_campaign_traces, k=6)
+        X, y = build_window_dataset(tiny_campaign_traces, k=6,
+                                    mmap_dir=str(tmp_path / "win"))
+        assert np.array_equal(X_mem, X)
+        assert np.array_equal(y_mem, y)
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_parallel_build_identical(self, tmp_path, tiny_campaign_traces,
+                                      workers):
+        X_mem, y_mem = build_point_dataset(tiny_campaign_traces)
+        X, y = build_point_dataset(
+            tiny_campaign_traces, workers=workers,
+            mmap_dir=str(tmp_path / f"w{workers}"))
+        assert np.array_equal(X_mem, X)
+        assert np.array_equal(y_mem, y)
+        Xp, yp = build_point_dataset(tiny_campaign_traces, workers=workers)
+        assert np.array_equal(X_mem, Xp)
+        assert np.array_equal(y_mem, yp)
+
+    def test_finished_directory_is_reused(self, tmp_path,
+                                          tiny_campaign_traces):
+        directory = str(tmp_path / "reuse")
+        X1, _ = build_point_dataset(tiny_campaign_traces, mmap_dir=directory)
+        stamp = os.path.getmtime(os.path.join(directory, "X.npy"))
+        X2, _ = build_point_dataset(tiny_campaign_traces, mmap_dir=directory)
+        assert os.path.getmtime(os.path.join(directory, "X.npy")) == stamp
+        assert np.array_equal(X1, X2)
+
+    def test_mismatched_request_rejected(self, tmp_path,
+                                         tiny_campaign_traces):
+        directory = str(tmp_path / "mix")
+        build_point_dataset(tiny_campaign_traces, mmap_dir=directory)
+        with pytest.raises(MemmapDatasetError, match="requested"):
+            build_point_dataset(tiny_campaign_traces, multiclass=True,
+                                mmap_dir=directory)
+        with pytest.raises(MemmapDatasetError, match="requested"):
+            build_window_dataset(tiny_campaign_traces, k=6,
+                                 mmap_dir=directory)
+
+    def test_different_trace_count_rejected(self, tmp_path,
+                                            tiny_campaign_traces):
+        """A finished directory built from one selection must not answer a
+        request built from a differently-sized one."""
+        directory = str(tmp_path / "count")
+        build_point_dataset(tiny_campaign_traces, mmap_dir=directory)
+        with pytest.raises(MemmapDatasetError, match="trace selection"):
+            build_point_dataset(tiny_campaign_traces[:10],
+                                mmap_dir=directory)
+
+    def test_interrupted_build_rejected(self, tmp_path,
+                                        tiny_campaign_traces):
+        """Arrays without the sidecar are the remains of a crash, not a
+        dataset to trust (the sidecar is written last, atomically)."""
+        directory = tmp_path / "crash"
+        directory.mkdir()
+        (directory / "X.npy").write_bytes(b"partial")
+        with pytest.raises(MemmapDatasetError, match="interrupted"):
+            build_point_dataset(tiny_campaign_traces,
+                                mmap_dir=str(directory))
+
+    def test_truncated_array_behind_valid_sidecar(self, tmp_path,
+                                                  tiny_campaign_traces):
+        directory = str(tmp_path / "trunc")
+        build_point_dataset(tiny_campaign_traces, mmap_dir=directory)
+        x_path = os.path.join(directory, "X.npy")
+        data = open(x_path, "rb").read()
+        with open(x_path, "wb") as fh:
+            fh.write(data[:-64])
+        with pytest.raises(MemmapDatasetError, match="corrupted"):
+            build_point_dataset(tiny_campaign_traces, mmap_dir=directory)
+
+    def test_sidecar_contents(self, tmp_path, tiny_campaign_traces):
+        directory = str(tmp_path / "meta")
+        X, _ = build_window_dataset(tiny_campaign_traces, k=6,
+                                    mmap_dir=directory)
+        meta = read_meta(directory)
+        assert meta["kind"] == "window"
+        assert meta["k"] == 6
+        assert meta["multiclass"] is False
+        assert meta["n_rows"] == len(X)
+        assert os.path.exists(meta_path(directory))
+
+    def test_empty_input_leaves_no_dataset(self, tmp_path):
+        directory = str(tmp_path / "empty")
+        with pytest.raises(ValueError, match="no traces"):
+            build_point_dataset([], mmap_dir=directory)
+        # the aborted build must not leave a reusable-looking directory
+        assert not os.path.exists(meta_path(directory))
+
+
+class TestWindowEdgeCases:
+    """Larger-than-trace windows, in-memory and memory-mapped alike."""
+
+    def test_short_traces_skipped_identically(self, tmp_path,
+                                              tiny_campaign_traces):
+        k = len(tiny_campaign_traces[0]) + 1  # longer than every trace
+        with pytest.raises(ValueError, match="long enough"):
+            build_window_dataset(tiny_campaign_traces, k=k)
+        with pytest.raises(ValueError, match="long enough"):
+            build_window_dataset(tiny_campaign_traces, k=k,
+                                 mmap_dir=str(tmp_path / "big"))
+        assert not os.path.exists(meta_path(str(tmp_path / "big")))
+
+    def test_window_equal_to_trace_length(self, tmp_path,
+                                          tiny_campaign_traces):
+        trace = tiny_campaign_traces[0]
+        k = len(trace)
+        X_mem, y_mem = build_window_dataset([trace], k=k)
+        assert X_mem.shape[0] == 1  # exactly one full-trace window
+        X, y = build_window_dataset([trace], k=k,
+                                    mmap_dir=str(tmp_path / "eq"))
+        assert np.array_equal(X_mem, X)
+        assert np.array_equal(y_mem, y)

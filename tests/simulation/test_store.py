@@ -52,6 +52,118 @@ def rewrite_manifest(directory, mutate):
         json.dump(manifest, fh)
 
 
+@pytest.fixture()
+def npy_store_dir(tmp_path, tiny_campaign_traces):
+    """The same campaign stored with uncompressed mmap-able shards."""
+    directory = str(tmp_path / "campaign-npy")
+    with CampaignStoreWriter(directory, TINY_PLATFORM,
+                             len(tiny_campaign_traces[0]),
+                             folds=4, shard_format="npy") as sink:
+        for trace in tiny_campaign_traces:
+            sink.write(trace)
+    return directory
+
+
+class TestNpyShards:
+    """The zero-copy uncompressed shard format (shard_format="npy")."""
+
+    def test_roundtrip_every_field(self, npy_store_dir, tiny_campaign_traces,
+                                   assert_traces_equal):
+        dataset = TraceDataset.open(npy_store_dir)
+        assert dataset.shard_format == "npy"
+        assert len(dataset) == len(tiny_campaign_traces)
+        for original, reread in zip(tiny_campaign_traces, dataset):
+            assert_traces_equal(original, reread)
+            assert original.fault == reread.fault
+            assert original.dt == reread.dt
+
+    def test_struct_roundtrip_preserves_dtypes(self, tiny_campaign_traces):
+        from repro.simulation import (TRACE_ARRAY_FIELDS, trace_from_struct,
+                                      trace_to_struct)
+        trace = tiny_campaign_traces[0]
+        rebuilt = trace_from_struct(
+            trace_to_struct(trace), platform=trace.platform,
+            patient_id=trace.patient_id, label=trace.label, dt=trace.dt,
+            fault=trace.fault)
+        for name in TRACE_ARRAY_FIELDS:
+            a, b = getattr(trace, name), getattr(rebuilt, name)
+            assert a.dtype == b.dtype, name
+            assert np.array_equal(a, b), name
+
+    def test_channels_are_zero_copy_views(self, npy_store_dir):
+        """Columns of an npy shard are read-only views of the mapped file,
+        not decompressed copies."""
+        dataset = TraceDataset.open(npy_store_dir)
+        trace = dataset[0]
+        assert not trace.cgm.flags.writeable
+        assert not trace.cgm.flags.owndata
+
+    def test_shards_are_npy_files(self, npy_store_dir):
+        names = sorted(os.listdir(npy_store_dir))
+        assert any(n.endswith(".npy") for n in names)
+        assert not any(n.endswith(".npz") for n in names)
+
+    def test_fingerprint_matches_npz_store(self, store_dir, npy_store_dir):
+        """Shard format is storage, not identity: both stores hold the
+        same campaign and must carry the same fingerprint."""
+        assert TraceDataset.open(store_dir).fingerprint == \
+            TraceDataset.open(npy_store_dir).fingerprint
+
+    def test_corrupted_npy_shard(self, npy_store_dir):
+        dataset = TraceDataset.open(npy_store_dir)
+        shard = os.path.join(npy_store_dir, dataset.entry(0)["file"])
+        with open(shard, "wb") as fh:
+            fh.write(b"garbage")
+        with pytest.raises(CampaignStoreError, match="corrupted"):
+            dataset[0]
+
+    def test_truncated_npy_shard(self, npy_store_dir):
+        dataset = TraceDataset.open(npy_store_dir)
+        shard = os.path.join(npy_store_dir, dataset.entry(1)["file"])
+        data = open(shard, "rb").read()
+        with open(shard, "wb") as fh:
+            fh.write(data[:-200])
+        with pytest.raises(CampaignStoreError, match="corrupted"):
+            dataset[1]
+
+    def test_unknown_shard_format_rejected(self, npy_store_dir):
+        rewrite_manifest(npy_store_dir,
+                         lambda m: m.update(shard_format="parquet"))
+        with pytest.raises(CampaignStoreError, match="shard format"):
+            TraceDataset.open(npy_store_dir)
+
+    def test_writer_rejects_unknown_format(self, tmp_path):
+        with pytest.raises(ValueError, match="shard_format"):
+            CampaignStoreWriter(str(tmp_path / "x"), TINY_PLATFORM, 150,
+                                shard_format="parquet")
+
+    def test_replay_and_learning_work_on_npy_store(self, npy_store_dir,
+                                                   tiny_campaign_traces):
+        dataset = TraceDataset.open(npy_store_dir)
+        alerts_mem = replay_campaign({"cawot": cawot_monitor()},
+                                     tiny_campaign_traces)["cawot"]
+        alerts_npy = replay_campaign({"cawot": cawot_monitor()},
+                                     dataset)["cawot"]
+        for a, b in zip(alerts_mem, alerts_npy):
+            assert np.array_equal(a, b)
+        learned_mem = learn_thresholds(tiny_campaign_traces)
+        learned_npy = learn_thresholds(dataset)
+        assert learned_mem.thresholds == learned_npy.thresholds
+
+
+class TestDatasetViewSubset:
+    def test_subset_of_view_is_relative(self, store_dir,
+                                        tiny_campaign_traces,
+                                        assert_traces_equal):
+        dataset = TraceDataset.open(store_dir)
+        view = dataset.subset(range(10, 20))
+        sub = view.subset([0, 3, 5])
+        assert isinstance(sub, TraceDatasetView)
+        assert len(sub) == 3
+        for got, want_index in zip(sub, (10, 13, 15)):
+            assert_traces_equal(got, tiny_campaign_traces[want_index])
+
+
 class TestTraceSerialization:
     def test_arrays_roundtrip_every_field(self, tiny_campaign_traces,
                                           assert_traces_equal):
@@ -105,8 +217,10 @@ class TestWriter:
         assert manifest["platform"] == TINY_PLATFORM
         assert manifest["n_traces"] == len(tiny_campaign_traces)
         assert len(manifest["traces"]) == len(tiny_campaign_traces)
+        assert manifest["shard_format"] == "npz"
         entry = manifest["traces"][0]
-        assert set(entry) == {"file", "patient_id", "label", "fold", "fault"}
+        assert set(entry) == {"file", "patient_id", "label", "dt", "fold",
+                              "fault"}
         assert os.path.exists(os.path.join(store_dir, entry["file"]))
 
     def test_fold_keys_are_round_robin_within_patient(self, store_dir):
