@@ -1,0 +1,98 @@
+"""Serial vs lock-step vectorized campaign throughput (traces/sec).
+
+Runs the ``ci``-scale fault-injection grid (2 patients x 42 scenarios)
+through the scalar loop and through the vectorized engine at several batch
+widths, reporting traces/sec for each.  A final test asserts that the
+vectorized trace stream is element-wise identical to the serial one and —
+the acceptance bar for the engine — at least 3x faster at batch_size=32.
+
+Measured on the CI container (see docs/vectorized_engine.md for the
+current numbers): the vectorized engine is ~7-8x the scalar loop on
+glucosym and ~10x with a 2-worker pool stacked on top, because each pool
+chunk becomes one lock-step batch and the speedups multiply.
+
+Run:  pytest benchmarks/bench_vector_campaign.py --benchmark-only -s
+"""
+
+import dataclasses
+import time
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.fi import CampaignConfig, generate_campaign
+from repro.patients import make_patient
+from repro.simulation import controller_profile, run_campaign
+
+CONFIG = ExperimentConfig.preset("ci")
+SCENARIOS = generate_campaign(CampaignConfig(stride=CONFIG.stride))
+N_TRACES = len(CONFIG.patients) * len(SCENARIOS)
+
+
+def _warm_profiles():
+    for pid in CONFIG.patients:
+        controller_profile(make_patient(CONFIG.platform, pid))
+
+
+def _run(batch_size, workers=1):
+    return run_campaign(CONFIG.platform, CONFIG.patients, SCENARIOS,
+                        n_steps=CONFIG.n_steps, workers=workers,
+                        batch_size=batch_size)
+
+
+def _timed(batch_size, workers=1):
+    start = time.perf_counter()
+    traces = _run(batch_size, workers)
+    return traces, time.perf_counter() - start
+
+
+def _report(name, elapsed):
+    print(f"\n{name}: {N_TRACES} traces in {elapsed:.2f}s "
+          f"({N_TRACES / elapsed:.1f} traces/sec)")
+
+
+@pytest.mark.parametrize("batch_size", [1, 8, 32, 84])
+def test_vector_throughput(benchmark, batch_size):
+    _warm_profiles()
+    traces = benchmark.pedantic(_run, args=(batch_size,), rounds=1,
+                                iterations=1)
+    assert len(traces) == N_TRACES
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        _report(f"batch_size={batch_size}", benchmark.stats.stats.mean)
+
+
+def test_vector_parity_and_speedup():
+    """batch_size=32 output is element-wise identical to serial and at
+    least 3x faster (the engine's acceptance bar)."""
+    _warm_profiles()
+    serial, t_serial = _timed(1)
+    vector, t_vector = _timed(32)
+    _report("serial", t_serial)
+    _report("batch_size=32", t_vector)
+    print(f"speedup: {t_serial / t_vector:.2f}x")
+
+    assert len(serial) == len(vector) == N_TRACES
+    for s, v in zip(serial, vector):
+        assert (s.platform, s.patient_id, s.label, s.fault) == \
+               (v.platform, v.patient_id, v.label, v.fault)
+        for f in dataclasses.fields(s):
+            value = getattr(s, f.name)
+            if isinstance(value, np.ndarray):
+                assert np.array_equal(value, getattr(v, f.name)), f.name
+
+    assert t_serial / t_vector >= 3.0, (
+        f"expected >=3x vectorized speedup, got {t_serial / t_vector:.2f}x")
+
+
+def test_vector_stacks_with_workers():
+    """Vectorized batches inside pool chunks: still identical traces."""
+    _warm_profiles()
+    serial, _ = _timed(1)
+    combo, t_combo = _timed(16, workers=2)
+    _report("2 workers x batch 16", t_combo)
+    for s, v in zip(serial, combo):
+        for f in dataclasses.fields(s):
+            value = getattr(s, f.name)
+            if isinstance(value, np.ndarray):
+                assert np.array_equal(value, getattr(v, f.name)), f.name

@@ -1,8 +1,9 @@
 """CI benchmark-regression gate.
 
 Runs a small *fixed* benchmark configuration — the ``ci``-scale grids behind
-``benchmarks/bench_parallel_campaign.py`` and ``benchmarks/bench_table6_ml.py``
-— and writes ``BENCH_<sha>.json`` with per-benchmark wall time plus the
+``benchmarks/bench_parallel_campaign.py``, ``bench_vector_campaign.py`` and
+``benchmarks/bench_table6_ml.py`` — and writes ``BENCH_<sha>.json`` with
+per-benchmark wall time (plus the serial-vs-vector speedup) and the
 process peak RSS.  The measurements are then compared against the committed
 ``benchmarks/BENCH_baseline.json``: any benchmark more than ``TOLERANCE``
 (25%) slower than its baseline, or peak RSS more than 25% above it, fails
@@ -84,6 +85,13 @@ def run_benchmarks() -> dict:
     timed("campaign_workers2",
           lambda: run_campaign(config.platform, config.patients, scenarios,
                                n_steps=config.n_steps, workers=2))
+    timed("campaign_vector",
+          lambda: run_campaign(config.platform, config.patients, scenarios,
+                               n_steps=config.n_steps, batch_size=32))
+    vector_speedup = round(results["campaign_serial"]["seconds"]
+                           / max(results["campaign_vector"]["seconds"], 1e-9), 2)
+    results["campaign_vector"]["speedup_vs_serial"] = vector_speedup
+    print(f"  serial/vector speedup: {vector_speedup}x", flush=True)
     # warm the shared experiment cache so the table6 number measures the
     # monitors (ML training jobs, threshold learning, replay) — the stage
     # this repo's training layer parallelises — not re-simulation

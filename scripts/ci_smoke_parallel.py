@@ -1,10 +1,11 @@
-"""CI smoke check: parallel execution, the on-disk store and the training
-fan-out must all be exact.
+"""CI smoke check: parallel execution, the vectorized engine, the on-disk
+store and the training fan-out must all be exact.
 
-Runs the ``ci``-scale fault-injection grid through the serial executor and
-through a 2-worker process pool and asserts that the two trace streams are
+Runs the ``ci``-scale fault-injection grid through the serial executor,
+through a 2-worker process pool and through the lock-step vectorized
+engine (``batch_size=4``), asserting that all three trace streams are
 element-wise identical (every array channel, every metadata field).  This
-is the determinism guarantee the parallel engine is built on.  The same
+is the determinism guarantee the parallel and vector engines are built on.  The same
 traces are then streamed through a :class:`CampaignStoreWriter` into a
 temporary on-disk dataset, lazily reopened as a :class:`TraceDataset` and
 compared element-wise again (plus a plan-fingerprint check), so the
@@ -77,6 +78,24 @@ def main() -> int:
               f"({serial[mismatches[0]].label})")
         return 1
     print(f"OK: all {n_expected} traces element-wise identical")
+
+    # lock-step vectorized engine: batch_size must be invisible in the
+    # output too (the parity contract of repro.simulation.vector)
+    start = time.perf_counter()
+    vector = run_campaign(config.platform, config.patients, scenarios,
+                          n_steps=config.n_steps, batch_size=4)
+    t_vector = time.perf_counter() - start
+    print(f"batch_size=4: {t_vector:.2f}s "
+          f"({n_expected / t_vector:.1f} traces/sec, "
+          f"{t_serial / t_vector:.2f}x)")
+    mismatches = [i for i, (s, v) in enumerate(zip(serial, vector))
+                  if not traces_identical(s, v)]
+    if len(vector) != n_expected or mismatches:
+        first = f"; first at index {mismatches[0]}" if mismatches else ""
+        print(f"FAIL: {len(mismatches)} trace(s) differ between serial and "
+              f"vectorized execution{first}")
+        return 1
+    print("OK: vectorized engine element-wise identical to serial")
 
     # dataset-store roundtrip: write -> manifest -> lazy reopen -> compare
     plan = plan_campaign(config.platform, config.patients, scenarios,

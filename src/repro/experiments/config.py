@@ -51,6 +51,12 @@ class ExperimentConfig:
         training jobs (:func:`~repro.ml.run_training_jobs`); 1 = serial.
         Results are element-wise identical for every worker count, so
         this is excluded from :meth:`cache_key`.
+    batch_size:
+        Lock-step vectorization width for unmonitored campaign and
+        fault-free simulation (:mod:`repro.simulation.vector`); 1 = the
+        scalar loop.  Traces are element-wise identical for every batch
+        size, so this too is excluded from :meth:`cache_key`.  Composes
+        multiplicatively with ``workers``.
     dataset_dir:
         When set, campaign and fault-free traces are streamed into an
         on-disk dataset under this root (one subdirectory per
@@ -76,6 +82,7 @@ class ExperimentConfig:
     ml_epochs: int = 12
     seed: int = 0
     workers: int = 1
+    batch_size: int = 1
     dataset_dir: Optional[str] = None
 
     def __post_init__(self):
@@ -83,6 +90,9 @@ class ExperimentConfig:
             raise ValueError("invalid experiment configuration")
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1, got {self.batch_size}")
 
     @property
     def scenarios_per_patient(self) -> int:
@@ -104,7 +114,7 @@ class ExperimentConfig:
 
     @classmethod
     def preset(cls, name: str, platform: str = "glucosym",
-               workers: int = 1) -> "ExperimentConfig":
+               workers: int = 1, batch_size: int = 1) -> "ExperimentConfig":
         """Build a named preset for one platform."""
         if name not in PRESETS:
             raise KeyError(f"unknown preset {name!r}; available: {sorted(PRESETS)}")
@@ -113,7 +123,7 @@ class ExperimentConfig:
         patients = tuple(cohort[:spec["n_patients"]])
         return cls(platform=platform, patients=patients, stride=spec["stride"],
                    folds=spec["folds"], ml_epochs=spec["ml_epochs"],
-                   workers=workers)
+                   workers=workers, batch_size=batch_size)
 
 
 #: preset name -> scale parameters.  ``ci`` is the continuous-integration

@@ -119,13 +119,15 @@ def _store_backed_data(config: ExperimentConfig) -> PlatformData:
         os.path.join(root, "campaign"), campaign_plan, config.folds,
         lambda sink: run_campaign(config.platform, config.patients,
                                   scenarios, n_steps=config.n_steps,
-                                  workers=config.workers, sink=sink))
+                                  workers=config.workers,
+                                  batch_size=config.batch_size, sink=sink))
     fault_free = _ensure_store(
         os.path.join(root, "fault_free"), ff_plan, config.folds,
         lambda sink: run_fault_free(config.platform, config.patients,
                                     INITIAL_GLUCOSE_VALUES,
                                     n_steps=config.n_steps,
-                                    workers=config.workers, sink=sink))
+                                    workers=config.workers,
+                                    batch_size=config.batch_size, sink=sink))
     return PlatformData(
         config=config, traces=traces, fault_free=fault_free,
         by_patient={pid: traces.by_patient(pid) for pid in config.patients},
@@ -136,10 +138,12 @@ def _store_backed_data(config: ExperimentConfig) -> PlatformData:
 def _in_memory_data(config: ExperimentConfig) -> PlatformData:
     campaign = generate_campaign(CampaignConfig(stride=config.stride))
     traces = run_campaign(config.platform, config.patients, campaign,
-                          n_steps=config.n_steps, workers=config.workers)
+                          n_steps=config.n_steps, workers=config.workers,
+                          batch_size=config.batch_size)
     fault_free = run_fault_free(config.platform, config.patients,
                                 INITIAL_GLUCOSE_VALUES, n_steps=config.n_steps,
-                                workers=config.workers)
+                                workers=config.workers,
+                                batch_size=config.batch_size)
     return PlatformData(
         config=config, traces=traces, fault_free=fault_free,
         by_patient=_group_by_patient(traces, config.patients),

@@ -6,11 +6,16 @@ Two glucose-simulator substrates (DESIGN.md §1):
   model used by Glucosym, with a 10-adult synthetic cohort (patients A..J);
 - :mod:`repro.patients.t1d` — the Dalla Man UVA/Padova S2013 model, with a
   10-adult synthetic cohort (P01..P10).
+
+Both models' dynamics are implemented once, as batched column kernels in
+:mod:`repro.patients.kernels`; the scalar classes here are ``B=1`` views
+over those kernels, bit-identical to the vectorized campaign engine.
 """
 
 from .base import Meal, PatientModel, rk4_step
 from .cohort import COHORTS, all_patients, make_patient, patient_ids
 from .ivp import GLUCOSYM_COHORT, IVPParams, IVPPatient, glucosym_patient
+from .kernels import IVPColumns, T1DColumns
 from .pump import InsulinPump
 from .sensor import CGMSensor
 from .t1d import T1DS2013_COHORT, T1DParams, T1DPatient, t1d_patient
@@ -24,6 +29,8 @@ __all__ = [
     "make_patient",
     "patient_ids",
     "GLUCOSYM_COHORT",
+    "IVPColumns",
+    "T1DColumns",
     "IVPParams",
     "IVPPatient",
     "glucosym_patient",

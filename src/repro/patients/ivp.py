@@ -15,6 +15,11 @@ subcutaneous/plasma insulin concentrations, ``I_eff`` the insulin effect,
 ``G`` blood glucose (mg/dL) and ``RA(t)`` the meal glucose rate of
 appearance.
 
+The dynamics themselves live in :mod:`repro.patients.kernels` as batched
+column kernels; this class is the scalar (``B=1``) view the interactive
+:class:`~repro.simulation.loop.ClosedLoop` drives, guaranteed bit-identical
+to the vectorized campaign engine because both call the same kernels.
+
 Substitution note (see DESIGN.md §3): Glucosym ships parameters fit to 10
 real adults; we generate a deterministic 10-patient cohort (A..J) spanning
 the published population ranges (Kanderian et al. report e.g. mean tau1=49
@@ -30,15 +35,29 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from .base import GLUCOSE_FLOOR, PatientModel, rk4_step, UU_PER_UNIT
+from .base import GLUCOSE_FLOOR, PatientModel
+from .kernels import (IVPColumns, ivp_basal_rate, ivp_derivatives,
+                      ivp_init_state)
 
-__all__ = ["IVPParams", "IVPPatient", "GLUCOSYM_COHORT", "glucosym_patient"]
+__all__ = ["IVPParams", "IVPPatient", "GLUCOSYM_COHORT", "glucosym_patient",
+           "meal_ra"]
 
 #: glucose distribution volume per kg of body weight (dL/kg)
 GLUCOSE_VOLUME_DL_PER_KG = 1.6
 
 #: meal absorption time constant (minutes)
 MEAL_TAU = 40.0
+
+
+def meal_ra(s: float, carbs_mg: float, v_g: float) -> float:
+    """Rate of appearance (mg/dL/min) of one meal, *s* minutes after start.
+
+    The gamma-shaped absorption curve ``(carbs/V_g) * s/tau^2 * exp(-s/tau)``
+    whose integral equals the total carb load.  The vectorized engine
+    precomputes its per-scenario meal timelines through this exact function,
+    so scalar and batched runs see identical appearance values.
+    """
+    return (carbs_mg / v_g) * (s / MEAL_TAU ** 2) * math.exp(-s / MEAL_TAU)
 
 
 @dataclass(frozen=True)
@@ -111,6 +130,13 @@ class IVPPatient(PatientModel):
                  target_glucose: float = 120.0):
         super().__init__(name)
         self.params = params
+        self._cols = IVPColumns.from_params([params])
+        # plain-float copies (incl. the kernel's precomputed products) for
+        # the hand-inlined RK4 fast path in _advance
+        self._f = (float(self._cols.tau1[0]), float(self._cols.tau2[0]),
+                   float(self._cols.p2[0]), float(self._cols.GEZI[0]),
+                   float(self._cols.EGP[0]), float(self._cols.tau1_CI[0]),
+                   float(self._cols.p2_SI[0]))
         self.target_glucose = float(target_glucose)
         self._state = np.zeros(self.N_STATES)
         self._active_meals: List[Tuple[float, float]] = []  # (start time, carbs mg)
@@ -136,10 +162,7 @@ class IVPPatient(PatientModel):
         target = self.target_glucose if target_glucose is None else target_glucose
         if target <= 0:
             raise ValueError(f"target glucose must be positive, got {target}")
-        p = self.params
-        rate_uu_min = p.CI * (p.EGP / target - p.GEZI) / p.SI
-        rate_uu_min = max(rate_uu_min, 0.0)
-        return rate_uu_min * 60.0 / UU_PER_UNIT
+        return float(ivp_basal_rate(self._cols, np.array([float(target)]))[0])
 
     def reset(self, init_glucose: float) -> None:
         """Quasi-steady state at the starting glucose.
@@ -152,12 +175,8 @@ class IVPPatient(PatientModel):
         """
         if init_glucose <= 0:
             raise ValueError(f"initial glucose must be positive, got {init_glucose}")
-        p = self.params
-        basal_uu_min = self.basal_rate(init_glucose) * UU_PER_UNIT / 60.0
-        i_sc = basal_uu_min / p.CI
-        i_p = i_sc
-        i_eff = p.SI * i_p
-        self._state = np.array([i_sc, i_p, i_eff, float(init_glucose)])
+        self._state = ivp_init_state(
+            self._cols, np.array([float(init_glucose)]))[:, 0].copy()
         self.t = 0.0
         self._meals = []
         self._active_meals = []
@@ -169,9 +188,8 @@ class IVPPatient(PatientModel):
     def meal_appearance(self, t: float) -> float:
         """Glucose rate of appearance RA(t) in mg/dL/min from active meals.
 
-        Each meal contributes ``(carbs_mg / V_g) * s/tau^2 * exp(-s/tau)``
-        where ``s`` is the time since the meal started — a gamma-shaped
-        absorption curve whose integral equals the total carb load.
+        Each meal contributes the :func:`meal_ra` gamma curve, summed over
+        the meals ingested so far, in ingestion order.
         """
         ra = 0.0
         v_g = self.params.glucose_volume_dl
@@ -179,28 +197,67 @@ class IVPPatient(PatientModel):
             s = t - start
             if s <= 0:
                 continue
-            ra += (carbs_mg / v_g) * (s / MEAL_TAU ** 2) * math.exp(-s / MEAL_TAU)
+            ra += meal_ra(s, carbs_mg, v_g)
         return ra
 
     def _ingest(self, carbs_g: float) -> None:
         self._active_meals.append((self.t, carbs_g * 1000.0))
 
     def derivatives(self, t: float, x: np.ndarray, insulin_uu_min: float) -> np.ndarray:
-        p = self.params
-        i_sc, i_p, i_eff, g = x
-        d_isc = insulin_uu_min / (p.tau1 * p.CI) - i_sc / p.tau1
-        d_ip = (i_sc - i_p) / p.tau2
-        d_ieff = -p.p2 * i_eff + p.p2 * p.SI * i_p
-        d_g = -(p.GEZI + max(i_eff, 0.0)) * g + p.EGP + self.meal_appearance(t)
-        return np.array([d_isc, d_ip, d_ieff, d_g])
+        ra = None
+        if self._active_meals:
+            ra = np.array([self.meal_appearance(t)])
+        d = ivp_derivatives(self._cols, np.asarray(x, dtype=float).reshape(4, 1),
+                            float(insulin_uu_min), ra)
+        return d[:, 0]
 
     def _advance(self, dt: float, insulin_uu_min: float) -> None:
-        self._state = rk4_step(
-            lambda t, x: self.derivatives(t, x, insulin_uu_min),
-            self.t, self._state, dt)
+        # Hand-inlined plain-float transcription of kernels.ivp_rk4_advance
+        # at B=1.  The IVP derivative is free of transcendentals, so every
+        # elementary float op here rounds identically to the kernel's
+        # float64 ufuncs — bit-for-bit parity is asserted by the
+        # scalar-vs-vector test suite.  (The ~10x win over per-substep
+        # length-1 ufunc calls is what keeps the serial path fast.)
+        tau1, tau2, p2, gezi, egp, tau1_ci, p2_si = self._f
+        insulin = float(insulin_uu_min)
+        if self._active_meals:
+            t = self.t
+            ra0 = self.meal_appearance(t)
+            ra_mid = self.meal_appearance(t + dt / 2.0)
+            ra1 = self.meal_appearance(t + dt)
+        else:
+            ra0 = ra_mid = ra1 = None
+
+        def deriv(a0, a1, a2, a3, ra):
+            d0 = insulin / tau1_ci - a0 / tau1
+            d1 = (a0 - a1) / tau2
+            d2 = -p2 * a2 + p2_si * a1
+            d3 = -(gezi + max(a2, 0.0)) * a3 + egp
+            if ra is not None:
+                d3 = d3 + ra
+            return d0, d1, d2, d3
+
+        x0, x1, x2, x3 = self._state.tolist()
+        h2 = dt / 2.0
+        a0, a1, a2, a3 = deriv(x0, x1, x2, x3, ra0)
+        b0, b1, b2, b3 = deriv(x0 + h2 * a0, x1 + h2 * a1, x2 + h2 * a2,
+                               x3 + h2 * a3, ra_mid)
+        c0, c1, c2, c3 = deriv(x0 + h2 * b0, x1 + h2 * b1, x2 + h2 * b2,
+                               x3 + h2 * b3, ra_mid)
+        d0, d1, d2, d3 = deriv(x0 + dt * c0, x1 + dt * c1, x2 + dt * c2,
+                               x3 + dt * c3, ra1)
+        h6 = dt / 6.0
+        x0 = x0 + h6 * (a0 + 2.0 * b0 + 2.0 * c0 + d0)
+        x1 = x1 + h6 * (a1 + 2.0 * b1 + 2.0 * c1 + d1)
+        x2 = x2 + h6 * (a2 + 2.0 * b2 + 2.0 * c2 + d2)
+        x3 = x3 + h6 * (a3 + 2.0 * b3 + 2.0 * c3 + d3)
         # concentrations cannot go negative; glucose gets a numerical floor
-        np.maximum(self._state, 0.0, out=self._state)
-        self._state[3] = max(self._state[3], GLUCOSE_FLOOR)
+        # (ternaries, not max(): same tie/sign-of-zero results as np.maximum)
+        x0 = x0 if x0 > 0.0 else 0.0
+        x1 = x1 if x1 > 0.0 else 0.0
+        x2 = x2 if x2 > 0.0 else 0.0
+        x3 = x3 if x3 > GLUCOSE_FLOOR else GLUCOSE_FLOOR
+        self._state = np.array([x0, x1, x2, x3])
 
 
 def glucosym_patient(patient_id: str, target_glucose: float = 120.0) -> IVPPatient:

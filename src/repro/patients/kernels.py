@@ -1,0 +1,402 @@
+"""Batched (lock-step) kernels for the virtual patient models.
+
+Every arithmetic step of the IVP (Kanderian) and UVA/Padova S2013 dynamics
+lives here as a NumPy function over *column* state: the ODE state is a
+``(n_states, B)`` matrix and every model parameter a ``(B,)`` vector, so one
+kernel call advances ``B`` independent patients in lock step.  The scalar
+classes in :mod:`repro.patients.ivp` and :mod:`repro.patients.t1d` are thin
+``B=1`` views over these same functions, and the vectorized campaign engine
+(:mod:`repro.simulation.vector`) calls them with whole batch rows — which is
+what makes scalar and batched simulation element-wise identical *by
+construction*: there is only one implementation of the dynamics.
+
+Two numerical rules keep that exact:
+
+- only size-invariant NumPy ufuncs are used (``+ - * /``, ``maximum``,
+  ``sqrt``, ``log``, ``tanh``, ``power`` — per-element results do not depend
+  on the batch width), never reductions across the batch axis;
+- anything precomputed (parameter products, ``log(Gb)**r2``) is computed
+  once in the column container and shared by both paths, so both consume
+  the identical floating-point value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .base import GLUCOSE_FLOOR, PMOL_PER_UNIT, UU_PER_UNIT
+
+__all__ = [
+    "IVPColumns", "ivp_basal_rate", "ivp_init_state", "ivp_derivatives",
+    "ivp_rk4_advance",
+    "T1DColumns", "t1d_risk", "t1d_gastric_emptying", "t1d_derivatives",
+    "t1d_rk4_advance", "t1d_solve_basal_state", "t1d_solve_state_at",
+    "t1d_solve_kp1", "t1d_init_state", "t1d_basal_rate",
+    "T1D_STATE_NAMES",
+]
+
+
+def _column(values) -> np.ndarray:
+    return np.asarray(values, dtype=np.float64)
+
+
+# ======================================================================
+# IVP (Kanderian) model — state [I_sc, I_p, I_eff, G], shape (4, B)
+# ======================================================================
+
+@dataclass(frozen=True)
+class IVPColumns:
+    """Per-row IVP parameters as ``(B,)`` vectors (mixed patients batch)."""
+
+    SI: np.ndarray
+    GEZI: np.ndarray
+    EGP: np.ndarray
+    CI: np.ndarray
+    tau1: np.ndarray
+    tau2: np.ndarray
+    p2: np.ndarray
+    BW: np.ndarray
+    # precomputed products, shared verbatim by scalar and batch paths
+    tau1_CI: np.ndarray
+    p2_SI: np.ndarray
+
+    @classmethod
+    def from_params(cls, params: Sequence) -> "IVPColumns":
+        cols = {name: _column([getattr(p, name) for p in params])
+                for name in ("SI", "GEZI", "EGP", "CI", "tau1", "tau2",
+                             "p2", "BW")}
+        return cls(tau1_CI=cols["tau1"] * cols["CI"],
+                   p2_SI=cols["p2"] * cols["SI"], **cols)
+
+    def __len__(self) -> int:
+        return len(self.SI)
+
+
+def ivp_basal_rate(cols: IVPColumns, glucose) -> np.ndarray:
+    """Steady-state basal (U/h) holding *glucose*: ``CI*(EGP/G - GEZI)/SI``."""
+    rate_uu_min = np.maximum(
+        cols.CI * (cols.EGP / glucose - cols.GEZI) / cols.SI, 0.0)
+    return rate_uu_min * 60.0 / UU_PER_UNIT
+
+
+def ivp_init_state(cols: IVPColumns, init_glucose) -> np.ndarray:
+    """Quasi-steady ``(4, B)`` state at *init_glucose* (insulin holds it)."""
+    init_glucose = _column(init_glucose)
+    basal_uu_min = ivp_basal_rate(cols, init_glucose) * UU_PER_UNIT / 60.0
+    i_sc = basal_uu_min / cols.CI
+    i_p = i_sc
+    i_eff = cols.SI * i_p
+    return np.stack([i_sc, i_p, i_eff,
+                     init_glucose * np.ones_like(i_sc)])
+
+
+def ivp_derivatives(cols: IVPColumns, x: np.ndarray, insulin_uu_min,
+                    ra: Optional[np.ndarray] = None) -> np.ndarray:
+    """State derivative; *ra* is the meal rate of appearance (mg/dL/min),
+    omitted entirely when no row has an active meal."""
+    i_sc, i_p, i_eff, g = x[0], x[1], x[2], x[3]
+    d_isc = insulin_uu_min / cols.tau1_CI - i_sc / cols.tau1
+    d_ip = (i_sc - i_p) / cols.tau2
+    d_ieff = -cols.p2 * i_eff + cols.p2_SI * i_p
+    d_g = -(cols.GEZI + np.maximum(i_eff, 0.0)) * g + cols.EGP
+    if ra is not None:
+        d_g = d_g + ra
+    return np.stack([d_isc, d_ip, d_ieff, d_g])
+
+
+def ivp_rk4_advance(cols: IVPColumns, x: np.ndarray, dt: float,
+                    insulin_uu_min,
+                    ra_stages: Optional[Tuple[np.ndarray, np.ndarray,
+                                              np.ndarray]] = None
+                    ) -> np.ndarray:
+    """One clamped RK4 step of the IVP system over a ``(4, B)`` state.
+
+    ``ra_stages`` holds the meal rate of appearance at the three RK4 stage
+    times ``t``, ``t + dt/2`` and ``t + dt`` (None when meal-free).
+    """
+    ra0, ra_mid, ra1 = ra_stages if ra_stages is not None else (None,) * 3
+    k1 = ivp_derivatives(cols, x, insulin_uu_min, ra0)
+    k2 = ivp_derivatives(cols, x + dt / 2.0 * k1, insulin_uu_min, ra_mid)
+    k3 = ivp_derivatives(cols, x + dt / 2.0 * k2, insulin_uu_min, ra_mid)
+    k4 = ivp_derivatives(cols, x + dt * k3, insulin_uu_min, ra1)
+    xn = x + dt / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+    # concentrations cannot go negative; glucose gets a numerical floor
+    np.maximum(xn, 0.0, out=xn)
+    xn[3] = np.maximum(xn[3], GLUCOSE_FLOOR)
+    return xn
+
+
+# ======================================================================
+# UVA/Padova S2013 model — 13-component state, shape (13, B)
+# ======================================================================
+
+#: state vector component order (matches repro.patients.t1d)
+T1D_STATE_NAMES = ("Gp", "Gt", "Ip", "Il", "I1", "Id", "X", "Isc1", "Isc2",
+                   "Gs", "Qsto1", "Qsto2", "Qgut")
+GP, GT, IP, IL, I1, ID, XA, ISC1, ISC2, GS, QSTO1, QSTO2, QGUT = range(13)
+
+_T1D_FIELDS = ("BW", "VG", "k1", "k2", "kp1", "kp2", "kp3", "ki", "Fsnc",
+               "Vm0", "Vmx", "Km0", "p2u", "ke1", "ke2", "VI", "m1", "m2",
+               "m3", "m4", "kd", "ka1", "ka2", "kmax", "kmin", "kabs",
+               "kgri", "f", "b", "d", "ksc", "r1", "r2", "Gb", "Gth")
+
+
+@dataclass(frozen=True)
+class T1DColumns:
+    """Per-row S2013 parameters as ``(B,)`` vectors."""
+
+    BW: np.ndarray
+    VG: np.ndarray
+    k1: np.ndarray
+    k2: np.ndarray
+    kp1: np.ndarray
+    kp2: np.ndarray
+    kp3: np.ndarray
+    ki: np.ndarray
+    Fsnc: np.ndarray
+    Vm0: np.ndarray
+    Vmx: np.ndarray
+    Km0: np.ndarray
+    p2u: np.ndarray
+    ke1: np.ndarray
+    ke2: np.ndarray
+    VI: np.ndarray
+    m1: np.ndarray
+    m2: np.ndarray
+    m3: np.ndarray
+    m4: np.ndarray
+    kd: np.ndarray
+    ka1: np.ndarray
+    ka2: np.ndarray
+    kmax: np.ndarray
+    kmin: np.ndarray
+    kabs: np.ndarray
+    kgri: np.ndarray
+    f: np.ndarray
+    b: np.ndarray
+    d: np.ndarray
+    ksc: np.ndarray
+    r1: np.ndarray
+    r2: np.ndarray
+    Gb: np.ndarray
+    Gth: np.ndarray
+    #: precomputed ``log(Gb) ** r2`` (one value, consumed by both paths)
+    log_gb_pow: np.ndarray
+
+    @classmethod
+    def from_params(cls, params: Sequence) -> "T1DColumns":
+        cols = {name: _column([getattr(p, name) for p in params])
+                for name in _T1D_FIELDS}
+        return cls(log_gb_pow=np.log(cols["Gb"]) ** cols["r2"], **cols)
+
+    def __len__(self) -> int:
+        return len(self.BW)
+
+
+def t1d_risk(cols: T1DColumns, glucose) -> np.ndarray:
+    """S2013 hypoglycemia risk amplification factor (dimensionless)."""
+    glucose = _column(glucose)
+    g = np.maximum(glucose, cols.Gth)
+    diff = np.log(g) ** cols.r2 - cols.log_gb_pow
+    return np.where(glucose >= cols.Gb, 0.0, 10.0 * diff * diff)
+
+
+def t1d_gastric_emptying(cols: T1DColumns, qsto, last_meal_mg) -> np.ndarray:
+    """Nonlinear gastric emptying rate ``kempt(Qsto)``; ``kmax`` pre-meal."""
+    qsto = _column(qsto)
+    last_meal_mg = _column(last_meal_mg)
+    d_mg = np.where(last_meal_mg > 0.0, last_meal_mg, 1.0)
+    alpha = 5.0 / (2.0 * d_mg * (1.0 - cols.b))
+    beta = 5.0 / (2.0 * d_mg * cols.d)
+    kempt = cols.kmin + (cols.kmax - cols.kmin) / 2.0 * (
+        np.tanh(alpha * (qsto - cols.b * d_mg))
+        - np.tanh(beta * (qsto - cols.d * d_mg)) + 2.0)
+    return np.where(last_meal_mg <= 0.0, cols.kmax, kempt)
+
+
+def t1d_derivatives(cols: T1DColumns, x: np.ndarray, insulin_uu_min,
+                    last_meal_mg, basal_insulin) -> np.ndarray:
+    """S2013 state derivative over a ``(13, B)`` state matrix."""
+    glucose = x[GP] / cols.VG
+
+    # gastro-intestinal tract
+    qsto = x[QSTO1] + x[QSTO2]
+    kempt = t1d_gastric_emptying(cols, qsto, last_meal_mg)
+    d_qsto1 = -cols.kgri * x[QSTO1]
+    d_qsto2 = cols.kgri * x[QSTO1] - kempt * x[QSTO2]
+    d_qgut = kempt * x[QSTO2] - cols.kabs * x[QGUT]
+    ra = cols.f * cols.kabs * x[QGUT] / cols.BW
+
+    # insulin kinetics (subcutaneous -> plasma/liver)
+    iir = insulin_uu_min * (PMOL_PER_UNIT / UU_PER_UNIT) / cols.BW
+    d_isc1 = -(cols.kd + cols.ka1) * x[ISC1] + iir
+    d_isc2 = cols.kd * x[ISC1] - cols.ka2 * x[ISC2]
+    rai = cols.ka1 * x[ISC1] + cols.ka2 * x[ISC2]
+    d_il = -(cols.m1 + cols.m3) * x[IL] + cols.m2 * x[IP]
+    d_ip = -(cols.m2 + cols.m4) * x[IP] + cols.m1 * x[IL] + rai
+    insulin = x[IP] / cols.VI  # pmol/L
+
+    # delayed insulin signal and remote insulin action
+    d_i1 = -cols.ki * (x[I1] - insulin)
+    d_id = -cols.ki * (x[ID] - x[I1])
+    d_xa = -cols.p2u * x[XA] + cols.p2u * (insulin - basal_insulin)
+
+    # glucose kinetics
+    egp = np.maximum(cols.kp1 - cols.kp2 * x[GP] - cols.kp3 * x[ID], 0.0)
+    excretion = cols.ke1 * np.maximum(x[GP] - cols.ke2, 0.0)
+    vm = cols.Vm0 + cols.Vmx * x[XA] * (1.0 + cols.r1 * t1d_risk(cols, glucose))
+    uid = np.maximum(vm, 0.0) * x[GT] / (cols.Km0 + x[GT])
+    d_gp = egp + ra - cols.Fsnc - excretion - cols.k1 * x[GP] + cols.k2 * x[GT]
+    d_gt = -uid + cols.k1 * x[GP] - cols.k2 * x[GT]
+
+    # subcutaneous (CGM) glucose
+    d_gs = -cols.ksc * (x[GS] - glucose)
+    return np.stack([d_gp, d_gt, d_ip, d_il, d_i1, d_id, d_xa, d_isc1,
+                     d_isc2, d_gs, d_qsto1, d_qsto2, d_qgut])
+
+
+def t1d_rk4_advance(cols: T1DColumns, x: np.ndarray, dt: float,
+                    insulin_uu_min, last_meal_mg,
+                    basal_insulin) -> np.ndarray:
+    """One clamped RK4 step of the S2013 system over a ``(13, B)`` state."""
+    def f(xs):
+        return t1d_derivatives(cols, xs, insulin_uu_min, last_meal_mg,
+                               basal_insulin)
+
+    k1 = f(x)
+    k2 = f(x + dt / 2.0 * k1)
+    k3 = f(x + dt / 2.0 * k2)
+    k4 = f(x + dt * k3)
+    xn = x + dt / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+    # all states are physical quantities except the remote insulin action X,
+    # a deviation from basal that is legitimately negative
+    x_action = xn[XA].copy()
+    np.maximum(xn, 0.0, out=xn)
+    xn[XA] = x_action
+    xn[GP] = np.maximum(xn[GP], GLUCOSE_FLOOR * cols.VG)
+    xn[GS] = np.maximum(xn[GS], GLUCOSE_FLOOR)
+    return xn
+
+
+def t1d_solve_basal_state(cols: T1DColumns, glucose
+                          ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Closed-form steady state ``(Gt, Ib, IIRb)`` at fasting *glucose*.
+
+    Raises ``ValueError`` when any row's parameters cannot hold the
+    requested glucose (negative basal insulin / infusion).
+    """
+    glucose = _column(glucose)
+    gp = glucose * cols.VG
+    a = cols.k2
+    b = cols.k2 * cols.Km0 + cols.Vm0 - cols.k1 * gp
+    c = -cols.k1 * gp * cols.Km0
+    gt = (-b + np.sqrt(b * b - 4.0 * a * c)) / (2.0 * a)
+    excretion = cols.ke1 * np.maximum(gp - cols.ke2, 0.0)
+    egp_required = cols.Fsnc + excretion + cols.k1 * gp - cols.k2 * gt
+    ib = (cols.kp1 - cols.kp2 * gp - egp_required) / cols.kp3
+    if np.any(ib <= 0):
+        bad = int(np.argmax(ib <= 0))
+        raise ValueError(
+            f"parameters cannot sustain fasting glucose "
+            f"{float(np.broadcast_to(glucose, ib.shape)[bad])} mg/dL "
+            f"(basal insulin would be {float(ib[bad]):.2f} pmol/L)")
+    ip = ib * cols.VI
+    il = cols.m2 * ip / (cols.m1 + cols.m3)
+    iirb = (cols.m2 + cols.m4) * ip - cols.m1 * il
+    if np.any(iirb <= 0):
+        raise ValueError("steady state yields non-positive basal infusion")
+    return gt, ib, iirb
+
+
+def t1d_solve_state_at(cols: T1DColumns, glucose, ib_ref, risk_value,
+                       iterations: int = 40
+                       ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fixed-point steady state ``(Gt, I, IIR)`` at *glucose* with the
+    remote-action reference *ib_ref* (see the scalar docstring in
+    :mod:`repro.patients.t1d`).
+
+    Per-row convergence is frozen exactly like the scalar loop's ``break``:
+    a converged row keeps its accepted iterate while the others keep
+    relaxing, so ``B=1`` and batched solves agree bit for bit.
+    """
+    glucose = _column(glucose)
+    ib_ref = _column(ib_ref)
+    gp = glucose * cols.VG
+    floor = 0.05 * ib_ref
+    insulin = ib_ref * np.ones_like(gp)
+    gt = gp * cols.k1 / cols.k2
+    done = np.zeros(np.broadcast_shapes(gp.shape, insulin.shape), dtype=bool)
+    for _ in range(iterations):
+        if done.all():
+            break
+        x = insulin - ib_ref
+        vm = np.maximum(cols.Vm0 + cols.Vmx * x * (1.0 + cols.r1 * risk_value),
+                        0.05 * cols.Vm0)
+        a = cols.k2
+        b = cols.k2 * cols.Km0 + vm - cols.k1 * gp
+        c = -cols.k1 * gp * cols.Km0
+        gt_new = (-b + np.sqrt(b * b - 4.0 * a * c)) / (2.0 * a)
+        excretion = cols.ke1 * np.maximum(gp - cols.ke2, 0.0)
+        egp_required = cols.Fsnc + excretion + cols.k1 * gp - cols.k2 * gt_new
+        insulin_new = np.maximum(
+            (cols.kp1 - cols.kp2 * gp - egp_required) / cols.kp3, floor)
+        converged = np.abs(insulin_new - insulin) < 1e-10
+        gt = np.where(done, gt, gt_new)
+        insulin = np.where(done, insulin,
+                           np.where(converged, insulin_new,
+                                    0.5 * insulin + 0.5 * insulin_new))
+        done = done | converged
+    ip = insulin * cols.VI
+    il = cols.m2 * ip / (cols.m1 + cols.m3)
+    iir = np.maximum((cols.m2 + cols.m4) * ip - cols.m1 * il, 0.0)
+    return gt, insulin, iir
+
+
+def t1d_solve_kp1(cols: T1DColumns, basal_insulin, glucose=None) -> np.ndarray:
+    """``kp1`` that puts each row at steady state with *basal_insulin*."""
+    glucose = cols.Gb if glucose is None else _column(glucose)
+    gp = glucose * cols.VG
+    a = cols.k2
+    b = cols.k2 * cols.Km0 + cols.Vm0 - cols.k1 * gp
+    c = -cols.k1 * gp * cols.Km0
+    gt = (-b + np.sqrt(b * b - 4.0 * a * c)) / (2.0 * a)
+    excretion = cols.ke1 * np.maximum(gp - cols.ke2, 0.0)
+    egp_required = cols.Fsnc + excretion + cols.k1 * gp - cols.k2 * gt
+    return egp_required + cols.kp2 * gp + cols.kp3 * basal_insulin
+
+
+def t1d_basal_rate(cols: T1DColumns, glucose) -> np.ndarray:
+    """Steady-state basal in U/h for a fasting *glucose* (closed form)."""
+    _, _, iirb = t1d_solve_basal_state(cols, glucose)
+    return iirb * cols.BW * 60.0 / PMOL_PER_UNIT
+
+
+def t1d_init_state(cols: T1DColumns, init_glucose, target
+                   ) -> Tuple[np.ndarray, np.ndarray]:
+    """Quasi-steady ``(13, B)`` state at *init_glucose* with the chronic
+    insulin reference anchored at *target*; returns ``(state, ib_ref)``."""
+    init_glucose = _column(init_glucose)
+    _, ib_ref, _ = t1d_solve_basal_state(cols, target)
+    gt, insulin, iirb = t1d_solve_state_at(cols, init_glucose, ib_ref,
+                                           t1d_risk(cols, init_glucose))
+    gp = init_glucose * cols.VG
+    ip = insulin * cols.VI
+    il = cols.m2 * ip / (cols.m1 + cols.m3)
+    isc1 = iirb / (cols.kd + cols.ka1)
+    isc2 = cols.kd * isc1 / cols.ka2
+    shape = np.broadcast_shapes(gp.shape, ip.shape)
+    x = np.zeros((13,) + shape)
+    x[GP] = gp
+    x[GT] = gt
+    x[IP] = ip
+    x[IL] = il
+    x[I1] = insulin
+    x[ID] = insulin
+    x[XA] = insulin - ib_ref
+    x[ISC1] = isc1
+    x[ISC2] = isc2
+    x[GS] = init_glucose
+    return x, ib_ref * np.ones(shape)

@@ -17,6 +17,10 @@ implements that ODE system:
   the nonlinear gastric-emptying rate;
 - a subcutaneous glucose compartment read by the CGM.
 
+The equations themselves live in :mod:`repro.patients.kernels` as batched
+column kernels; this class is the scalar (``B=1``) view, bit-identical to
+the vectorized campaign engine because both call the same kernels.
+
 Substitution note (see DESIGN.md §3): the commercial simulator's 30-patient
 parameter file is proprietary.  We synthesise a 10-adult cohort around the
 published adult-average parameters; each patient's ``kp1`` is solved so the
@@ -26,13 +30,16 @@ which guarantees a well-posed basal rate for every cohort member.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, replace
 from typing import Dict
 
 import numpy as np
 
-from .base import GLUCOSE_FLOOR, PatientModel, rk4_step, PMOL_PER_UNIT, UU_PER_UNIT
+from .base import GLUCOSE_FLOOR, PatientModel, PMOL_PER_UNIT, UU_PER_UNIT
+from .kernels import (T1DColumns, t1d_basal_rate, t1d_derivatives,
+                      t1d_gastric_emptying, t1d_init_state, t1d_risk,
+                      t1d_solve_basal_state, t1d_solve_kp1,
+                      t1d_solve_state_at)
 
 __all__ = ["T1DParams", "T1DPatient", "T1DS2013_COHORT", "t1d_patient"]
 
@@ -99,6 +106,10 @@ class T1DParams:
 GP, GT, IP, IL, I1, ID, XA, ISC1, ISC2, GS, QSTO1, QSTO2, QGUT = range(13)
 
 
+def _cols_of(p: T1DParams) -> T1DColumns:
+    return T1DColumns.from_params([p])
+
+
 def _solve_basal_state(p: T1DParams, glucose: float):
     """Closed-form steady state of the S2013 model at fasting *glucose*.
 
@@ -106,26 +117,8 @@ def _solve_basal_state(p: T1DParams, glucose: float):
     (pmol/L) and basal infusion (pmol/kg/min).  Raises ``ValueError`` when the
     parameters cannot hold the requested glucose (negative basal insulin).
     """
-    gp = glucose * p.VG
-    # dGt = 0 with X = 0:  k1*Gp = k2*Gt + Vm0*Gt/(Km0+Gt)
-    # => k2*Gt^2 + (k2*Km0 + Vm0 - k1*Gp)*Gt - k1*Gp*Km0 = 0
-    a = p.k2
-    b = p.k2 * p.Km0 + p.Vm0 - p.k1 * gp
-    c = -p.k1 * gp * p.Km0
-    gt = (-b + math.sqrt(b * b - 4.0 * a * c)) / (2.0 * a)
-    excretion = p.ke1 * max(gp - p.ke2, 0.0)
-    egp_required = p.Fsnc + excretion + p.k1 * gp - p.k2 * gt
-    ib = (p.kp1 - p.kp2 * gp - egp_required) / p.kp3
-    if ib <= 0:
-        raise ValueError(
-            f"parameters cannot sustain fasting glucose {glucose} mg/dL "
-            f"(basal insulin would be {ib:.2f} pmol/L)")
-    ip = ib * p.VI
-    il = p.m2 * ip / (p.m1 + p.m3)
-    iirb = (p.m2 + p.m4) * ip - p.m1 * il
-    if iirb <= 0:
-        raise ValueError("steady state yields non-positive basal infusion")
-    return gt, ib, iirb
+    gt, ib, iirb = t1d_solve_basal_state(_cols_of(p), np.array([float(glucose)]))
+    return float(gt[0]), float(ib[0]), float(iirb[0])
 
 
 def _solve_state_at(p: T1DParams, glucose: float, ib_ref: float,
@@ -140,41 +133,17 @@ def _solve_state_at(p: T1DParams, glucose: float, ib_ref: float,
     Returns ``(Gt, I, IIR)`` with I >= a small positive floor (high starting
     glucose may not be sustainable with positive insulin).
     """
-    gp = glucose * p.VG
-    floor = 0.05 * ib_ref
-    insulin = ib_ref
-    gt = gp * p.k1 / p.k2
-    for _ in range(iterations):
-        x = insulin - ib_ref
-        vm = max(p.Vm0 + p.Vmx * x * (1.0 + p.r1 * risk_value), 0.05 * p.Vm0)
-        a = p.k2
-        b = p.k2 * p.Km0 + vm - p.k1 * gp
-        c = -p.k1 * gp * p.Km0
-        gt = (-b + math.sqrt(b * b - 4.0 * a * c)) / (2.0 * a)
-        excretion = p.ke1 * max(gp - p.ke2, 0.0)
-        egp_required = p.Fsnc + excretion + p.k1 * gp - p.k2 * gt
-        insulin_new = max((p.kp1 - p.kp2 * gp - egp_required) / p.kp3, floor)
-        if abs(insulin_new - insulin) < 1e-10:
-            insulin = insulin_new
-            break
-        insulin = 0.5 * insulin + 0.5 * insulin_new
-    ip = insulin * p.VI
-    il = p.m2 * ip / (p.m1 + p.m3)
-    iir = max((p.m2 + p.m4) * ip - p.m1 * il, 0.0)
-    return gt, insulin, iir
+    gt, insulin, iir = t1d_solve_state_at(
+        _cols_of(p), np.array([float(glucose)]), np.array([float(ib_ref)]),
+        np.array([float(risk_value)]), iterations=iterations)
+    return float(gt[0]), float(insulin[0]), float(iir[0])
 
 
 def solve_kp1(p: T1DParams, basal_insulin: float, glucose: float | None = None) -> float:
     """``kp1`` that puts the patient at steady state with *basal_insulin* pmol/L."""
-    glucose = p.Gb if glucose is None else glucose
-    gp = glucose * p.VG
-    a = p.k2
-    b = p.k2 * p.Km0 + p.Vm0 - p.k1 * gp
-    c = -p.k1 * gp * p.Km0
-    gt = (-b + math.sqrt(b * b - 4.0 * a * c)) / (2.0 * a)
-    excretion = p.ke1 * max(gp - p.ke2, 0.0)
-    egp_required = p.Fsnc + excretion + p.k1 * gp - p.k2 * gt
-    return egp_required + p.kp2 * gp + p.kp3 * basal_insulin
+    glucose_arr = None if glucose is None else np.array([float(glucose)])
+    return float(t1d_solve_kp1(_cols_of(p), float(basal_insulin),
+                               glucose_arr)[0])
 
 
 class T1DPatient(PatientModel):
@@ -186,6 +155,8 @@ class T1DPatient(PatientModel):
                  target_glucose: float | None = None):
         super().__init__(name)
         self.params = params
+        self._cols = _cols_of(params)
+        self._log_gb_pow = float(self._cols.log_gb_pow[0])
         self.target_glucose = params.Gb if target_glucose is None else float(target_glucose)
         self._state = np.zeros(self.N_STATES)
         self._last_meal_mg = 0.0
@@ -216,9 +187,7 @@ class T1DPatient(PatientModel):
     def basal_rate(self, target_glucose: float | None = None) -> float:
         """Steady-state basal in U/h for a fasting target (closed form)."""
         target = self.target_glucose if target_glucose is None else target_glucose
-        _, _, iirb = _solve_basal_state(self.params, target)
-        # pmol/kg/min -> U/h
-        return iirb * self.params.BW * 60.0 / PMOL_PER_UNIT
+        return float(t1d_basal_rate(self._cols, np.array([float(target)]))[0])
 
     def reset(self, init_glucose: float) -> None:
         """Quasi-steady state at the starting glucose.
@@ -232,29 +201,11 @@ class T1DPatient(PatientModel):
         """
         if init_glucose <= 0:
             raise ValueError(f"initial glucose must be positive, got {init_glucose}")
-        p = self.params
-        # the chronic insulin reference (X = 0 anchor) always corresponds to
-        # the patient's target-glucose basal
-        _, ib_ref, _ = _solve_basal_state(p, self.target_glucose)
-        self._basal_insulin = ib_ref
-        gt, insulin, iirb = _solve_state_at(p, init_glucose, ib_ref,
-                                            self._risk(init_glucose))
-        gp = init_glucose * p.VG
-        ip = insulin * p.VI
-        il = p.m2 * ip / (p.m1 + p.m3)
-        isc1 = iirb / (p.kd + p.ka1)
-        isc2 = p.kd * isc1 / p.ka2
-        self._state = np.zeros(self.N_STATES)
-        self._state[GP] = gp
-        self._state[GT] = gt
-        self._state[IP] = ip
-        self._state[IL] = il
-        self._state[I1] = insulin
-        self._state[ID] = insulin
-        self._state[XA] = insulin - ib_ref
-        self._state[ISC1] = isc1
-        self._state[ISC2] = isc2
-        self._state[GS] = init_glucose
+        state, ib_ref = t1d_init_state(self._cols,
+                                       np.array([float(init_glucose)]),
+                                       np.array([float(self.target_glucose)]))
+        self._state = state[:, 0].copy()
+        self._basal_insulin = float(ib_ref[0])
         self._last_meal_mg = 0.0
         self.t = 0.0
         self._meals = []
@@ -265,23 +216,12 @@ class T1DPatient(PatientModel):
     # ------------------------------------------------------------------
     def _risk(self, glucose: float) -> float:
         """S2013 hypoglycemia risk amplification factor (dimensionless)."""
-        p = self.params
-        if glucose >= p.Gb:
-            return 0.0
-        g = max(glucose, p.Gth)
-        diff = math.log(g) ** p.r2 - math.log(p.Gb) ** p.r2
-        return 10.0 * diff * diff
+        return float(t1d_risk(self._cols, np.array([float(glucose)]))[0])
 
     def _gastric_emptying(self, qsto: float) -> float:
-        p = self.params
-        if self._last_meal_mg <= 0:
-            return p.kmax
-        d_mg = self._last_meal_mg
-        alpha = 5.0 / (2.0 * d_mg * (1.0 - p.b))
-        beta = 5.0 / (2.0 * d_mg * p.d)
-        return p.kmin + (p.kmax - p.kmin) / 2.0 * (
-            math.tanh(alpha * (qsto - p.b * d_mg))
-            - math.tanh(beta * (qsto - p.d * d_mg)) + 2.0)
+        return float(t1d_gastric_emptying(
+            self._cols, np.array([float(qsto)]),
+            np.array([self._last_meal_mg]))[0])
 
     def _ingest(self, carbs_g: float) -> None:
         carbs_mg = carbs_g * 1000.0
@@ -289,56 +229,99 @@ class T1DPatient(PatientModel):
         self._last_meal_mg = carbs_mg
 
     def derivatives(self, t: float, x: np.ndarray, insulin_uu_min: float) -> np.ndarray:
+        d = t1d_derivatives(self._cols,
+                            np.asarray(x, dtype=float).reshape(13, 1),
+                            float(insulin_uu_min),
+                            np.array([self._last_meal_mg]),
+                            np.array([self._basal_insulin]))
+        return d[:, 0]
+
+    def _risk_float(self, glucose: float) -> float:
+        """Plain-float transcription of kernels.t1d_risk for the RK4 fast
+        path.  The power runs through a length-1 array because numpy's
+        *scalar* ``**`` rounds differently from the array ufunc."""
         p = self.params
-        dx = np.zeros(self.N_STATES)
+        if glucose >= p.Gb:
+            return 0.0
+        g = glucose if glucose > p.Gth else p.Gth
+        diff = float(np.power(np.array([np.log(g)]), p.r2)[0]) \
+            - self._log_gb_pow
+        return 10.0 * diff * diff
+
+    def _deriv_float(self, x, insulin_uu_min: float):
+        """Plain-float transcription of kernels.t1d_derivatives at B=1.
+
+        Every elementary op mirrors the kernel's float64 ufuncs (the
+        transcendentals go through numpy itself), so the scalar loop stays
+        bit-identical to the vectorized engine — asserted by the
+        scalar-vs-vector parity suite.
+        """
+        p = self.params
         glucose = x[GP] / p.VG
 
-        # gastro-intestinal tract
         qsto = x[QSTO1] + x[QSTO2]
-        kempt = self._gastric_emptying(qsto)
-        dx[QSTO1] = -p.kgri * x[QSTO1]
-        dx[QSTO2] = p.kgri * x[QSTO1] - kempt * x[QSTO2]
-        dx[QGUT] = kempt * x[QSTO2] - p.kabs * x[QGUT]
+        last = self._last_meal_mg
+        if last <= 0.0:
+            kempt = p.kmax
+        else:
+            alpha = 5.0 / (2.0 * last * (1.0 - p.b))
+            beta = 5.0 / (2.0 * last * p.d)
+            kempt = p.kmin + (p.kmax - p.kmin) / 2.0 * (
+                float(np.tanh(alpha * (qsto - p.b * last)))
+                - float(np.tanh(beta * (qsto - p.d * last))) + 2.0)
+        d_qsto1 = -p.kgri * x[QSTO1]
+        d_qsto2 = p.kgri * x[QSTO1] - kempt * x[QSTO2]
+        d_qgut = kempt * x[QSTO2] - p.kabs * x[QGUT]
         ra = p.f * p.kabs * x[QGUT] / p.BW
 
-        # insulin kinetics (subcutaneous -> plasma/liver)
-        iir = insulin_uu_min * (PMOL_PER_UNIT / UU_PER_UNIT) / p.BW  # pmol/kg/min
-        dx[ISC1] = -(p.kd + p.ka1) * x[ISC1] + iir
-        dx[ISC2] = p.kd * x[ISC1] - p.ka2 * x[ISC2]
+        iir = insulin_uu_min * (PMOL_PER_UNIT / UU_PER_UNIT) / p.BW
+        d_isc1 = -(p.kd + p.ka1) * x[ISC1] + iir
+        d_isc2 = p.kd * x[ISC1] - p.ka2 * x[ISC2]
         rai = p.ka1 * x[ISC1] + p.ka2 * x[ISC2]
-        dx[IL] = -(p.m1 + p.m3) * x[IL] + p.m2 * x[IP]
-        dx[IP] = -(p.m2 + p.m4) * x[IP] + p.m1 * x[IL] + rai
-        insulin = x[IP] / p.VI  # pmol/L
+        d_il = -(p.m1 + p.m3) * x[IL] + p.m2 * x[IP]
+        d_ip = -(p.m2 + p.m4) * x[IP] + p.m1 * x[IL] + rai
+        insulin = x[IP] / p.VI
 
-        # delayed insulin signal and remote insulin action
-        dx[I1] = -p.ki * (x[I1] - insulin)
-        dx[ID] = -p.ki * (x[ID] - x[I1])
-        dx[XA] = -p.p2u * x[XA] + p.p2u * (insulin - self._basal_insulin)
+        d_i1 = -p.ki * (x[I1] - insulin)
+        d_id = -p.ki * (x[ID] - x[I1])
+        d_xa = -p.p2u * x[XA] + p.p2u * (insulin - self._basal_insulin)
 
-        # glucose kinetics
-        egp = max(p.kp1 - p.kp2 * x[GP] - p.kp3 * x[ID], 0.0)
-        excretion = p.ke1 * max(x[GP] - p.ke2, 0.0)
-        vm = p.Vm0 + p.Vmx * x[XA] * (1.0 + p.r1 * self._risk(glucose))
-        uid = max(vm, 0.0) * x[GT] / (p.Km0 + x[GT])
-        dx[GP] = egp + ra - p.Fsnc - excretion - p.k1 * x[GP] + p.k2 * x[GT]
-        dx[GT] = -uid + p.k1 * x[GP] - p.k2 * x[GT]
-
-        # subcutaneous (CGM) glucose
-        dx[GS] = -p.ksc * (x[GS] - glucose)
-        return dx
+        egp = p.kp1 - p.kp2 * x[GP] - p.kp3 * x[ID]
+        egp = egp if egp > 0.0 else 0.0
+        over = x[GP] - p.ke2
+        excretion = p.ke1 * (over if over > 0.0 else 0.0)
+        vm = p.Vm0 + p.Vmx * x[XA] * (1.0 + p.r1 * self._risk_float(glucose))
+        uid = (vm if vm > 0.0 else 0.0) * x[GT] / (p.Km0 + x[GT])
+        d_gp = egp + ra - p.Fsnc - excretion - p.k1 * x[GP] + p.k2 * x[GT]
+        d_gt = -uid + p.k1 * x[GP] - p.k2 * x[GT]
+        d_gs = -p.ksc * (x[GS] - glucose)
+        return (d_gp, d_gt, d_ip, d_il, d_i1, d_id, d_xa, d_isc1, d_isc2,
+                d_gs, d_qsto1, d_qsto2, d_qgut)
 
     def _advance(self, dt: float, insulin_uu_min: float) -> None:
-        self._state = rk4_step(
-            lambda t, x: self.derivatives(t, x, insulin_uu_min),
-            self.t, self._state, dt)
-        # All states are physical quantities except the remote insulin action
-        # X, which is a deviation from basal and legitimately negative when
-        # plasma insulin drops below basal.
-        x_action = self._state[XA]
-        np.maximum(self._state, 0.0, out=self._state)
-        self._state[XA] = x_action
-        self._state[GP] = max(self._state[GP], GLUCOSE_FLOOR * self.params.VG)
-        self._state[GS] = max(self._state[GS], GLUCOSE_FLOOR)
+        # hand-inlined float RK4 over kernels.t1d_rk4_advance at B=1
+        # (see _deriv_float); ~10x over per-substep length-1 ufunc calls
+        insulin = float(insulin_uu_min)
+        x = self._state.tolist()
+        h2 = dt / 2.0
+        k1 = self._deriv_float(x, insulin)
+        k2 = self._deriv_float([xi + h2 * ki for xi, ki in zip(x, k1)],
+                               insulin)
+        k3 = self._deriv_float([xi + h2 * ki for xi, ki in zip(x, k2)],
+                               insulin)
+        k4 = self._deriv_float([xi + dt * ki for xi, ki in zip(x, k3)],
+                               insulin)
+        h6 = dt / 6.0
+        xn = [xi + h6 * (a + 2.0 * b + 2.0 * c + d)
+              for xi, a, b, c, d in zip(x, k1, k2, k3, k4)]
+        # clamp like the kernel: X (the remote action) may stay negative
+        x_action = xn[XA]
+        xn = [v if v > 0.0 else 0.0 for v in xn]
+        xn[XA] = x_action
+        gp_floor = GLUCOSE_FLOOR * self.params.VG
+        xn[GP] = xn[GP] if xn[GP] > gp_floor else gp_floor
+        xn[GS] = xn[GS] if xn[GS] > GLUCOSE_FLOOR else GLUCOSE_FLOOR
+        self._state = np.array(xn)
 
 
 def _make_cohort() -> Dict[str, T1DParams]:

@@ -96,6 +96,7 @@ def run_campaign(platform: str, patient_ids: Sequence[str],
                  mitigator: Optional[Mitigator] = None,
                  n_steps: int = 150,
                  workers: Optional[int] = None,
+                 batch_size: Optional[int] = None,
                  executor: Optional[CampaignExecutor] = None,
                  sink: Optional[TraceSink] = None) -> Optional[List[SimulationTrace]]:
     """Run every injection scenario against every patient.
@@ -111,9 +112,16 @@ def run_campaign(platform: str, patient_ids: Sequence[str],
         Process-pool size; 1 (the default, also via ``REPRO_WORKERS``)
         runs serially in-process.  Trace order and content are identical
         for every worker count.
+    batch_size:
+        Lock-step vectorization width (default 1, also via
+        ``REPRO_BATCH_SIZE``): unmonitored runs are simulated
+        ``batch_size`` at a time by :mod:`repro.simulation.vector` with
+        element-wise identical traces.  Monitored/mitigated campaigns
+        fall back to the scalar loop.  Composes with *workers* — each
+        pool chunk becomes a sequence of vectorized batches.
     executor:
         Explicit :class:`~repro.simulation.executor.CampaignExecutor`
-        (overrides *workers*).
+        (overrides *workers* and *batch_size*).
     sink:
         Optional :class:`~repro.simulation.executor.TraceSink`; when given,
         traces are streamed to it in (patient, scenario) order and ``None``
@@ -125,7 +133,7 @@ def run_campaign(platform: str, patient_ids: Sequence[str],
     streaming to *sink*.
     """
     plan = plan_campaign(platform, patient_ids, scenarios, n_steps=n_steps)
-    executor = executor or get_executor(workers)
+    executor = executor or get_executor(workers, batch_size)
     return executor.run(plan, monitor_factory=monitor_factory,
                         mitigator=mitigator, sink=sink)
 
@@ -135,6 +143,7 @@ def run_fault_free(platform: str, patient_ids: Sequence[str],
                    monitor_factory: Optional[Callable[[str], SafetyMonitor]] = None,
                    n_steps: int = 150,
                    workers: Optional[int] = None,
+                   batch_size: Optional[int] = None,
                    executor: Optional[CampaignExecutor] = None,
                    cache: Optional[BaselineCache] = BASELINE_CACHE,
                    sink: Optional[TraceSink] = None) -> Optional[List[SimulationTrace]]:
@@ -142,7 +151,8 @@ def run_fault_free(platform: str, patient_ids: Sequence[str],
 
     Unmonitored baselines are served from (and written back to) *cache* —
     keyed by platform/patient/initial BG/step count — so repeated
-    experiments never resimulate the same reference runs.  Pass
+    experiments never resimulate the same reference runs (and, being
+    unmonitored, they vectorize fully under ``batch_size > 1``).  Pass
     ``cache=None`` to force fresh simulation; runs with a monitor are
     never cached because the monitor's alerts are part of the trace.
 
@@ -153,7 +163,7 @@ def run_fault_free(platform: str, patient_ids: Sequence[str],
     """
     plan = plan_fault_free(platform, patient_ids, init_glucose_values,
                            n_steps=n_steps)
-    executor = executor or get_executor(workers)
+    executor = executor or get_executor(workers, batch_size)
     if monitor_factory is not None or cache is None:
         return executor.run(plan, monitor_factory=monitor_factory, sink=sink)
 

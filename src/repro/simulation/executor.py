@@ -52,7 +52,7 @@ __all__ = [
     "shard_plan", "ProfileCache", "BaselineCache", "PROFILE_CACHE",
     "BASELINE_CACHE", "TraceSink", "ListSink", "CountingSink",
     "NpzDirectorySink", "NpyDirectorySink", "CampaignExecutor", "SerialExecutor",
-    "ParallelExecutor", "get_executor",
+    "ParallelExecutor", "get_executor", "resolve_batch_size",
 ]
 
 MonitorFactory = Callable[[str], SafetyMonitor]
@@ -84,10 +84,13 @@ class CampaignPlan:
     runs: Tuple[SimRun, ...]
     n_steps: int = 150
     target: float = 120.0
+    dt: float = 5.0
 
     def __post_init__(self):
         if self.n_steps < 1:
             raise ValueError(f"n_steps must be >= 1, got {self.n_steps}")
+        if self.dt <= 0:
+            raise ValueError(f"dt must be positive, got {self.dt}")
 
     def __len__(self) -> int:
         return len(self.runs)
@@ -95,23 +98,23 @@ class CampaignPlan:
 
 def plan_campaign(platform: str, patient_ids: Sequence[str],
                   scenarios: Iterable[InjectionScenario],
-                  n_steps: int = 150) -> CampaignPlan:
+                  n_steps: int = 150, dt: float = 5.0) -> CampaignPlan:
     """Plan a fault-injection campaign: every scenario against every patient."""
     scenarios = tuple(scenarios)
     runs = tuple(SimRun(patient_id=pid, init_glucose=scn.init_glucose,
                         label=scn.label, fault=scn.fault)
                  for pid in patient_ids for scn in scenarios)
-    return CampaignPlan(platform=platform, runs=runs, n_steps=n_steps)
+    return CampaignPlan(platform=platform, runs=runs, n_steps=n_steps, dt=dt)
 
 
 def plan_fault_free(platform: str, patient_ids: Sequence[str],
                     init_glucose_values: Sequence[float],
-                    n_steps: int = 150) -> CampaignPlan:
+                    n_steps: int = 150, dt: float = 5.0) -> CampaignPlan:
     """Plan the fault-free reference runs over the initial-glucose grid."""
     runs = tuple(SimRun(patient_id=pid, init_glucose=float(bg),
                         label=f"fault-free/bg{bg:g}", fault=None)
                  for pid in patient_ids for bg in init_glucose_values)
-    return CampaignPlan(platform=platform, runs=runs, n_steps=n_steps)
+    return CampaignPlan(platform=platform, runs=runs, n_steps=n_steps, dt=dt)
 
 
 def shard_plan(plan: CampaignPlan,
@@ -336,16 +339,36 @@ class NpyDirectorySink(NpzDirectorySink):
 # the shared chunk runner
 # ----------------------------------------------------------------------
 
+def resolve_batch_size(batch_size: Optional[int]) -> int:
+    """Normalise a ``batch_size=`` argument (None: ``REPRO_BATCH_SIZE`` env,
+    or 1 = scalar execution)."""
+    if batch_size is None:
+        batch_size = int(os.environ.get("REPRO_BATCH_SIZE", "1"))
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    return batch_size
+
+
 def _run_chunk(plan: CampaignPlan, runs: Sequence[SimRun],
                monitor_factory: Optional[MonitorFactory],
-               mitigator: Optional[Mitigator]) -> List[SimulationTrace]:
-    """Execute a contiguous slice of the plan, reusing one loop per patient.
+               mitigator: Optional[Mitigator],
+               batch_size: int = 1) -> List[SimulationTrace]:
+    """Execute a contiguous slice of the plan.
 
     This is the *only* place simulations happen — serial executor, parallel
     workers and cache-warming all call it, which is what guarantees that
-    worker count cannot change the simulated dynamics.
+    worker count cannot change the simulated dynamics.  With
+    ``batch_size > 1`` and no monitor/mitigator the slice runs through the
+    lock-step vectorized engine (:mod:`repro.simulation.vector`), whose
+    traces are element-wise identical to the scalar loop below; monitored
+    or mitigated runs always take the scalar path (alerts feed back into
+    the loop, so rows would diverge).
     """
     from .batch import make_loop  # deferred: batch imports this module too
+
+    if batch_size > 1 and monitor_factory is None and mitigator is None:
+        from .vector import run_vector_chunk
+        return run_vector_chunk(plan, runs, batch_size)
 
     traces: List[SimulationTrace] = []
     loop = None
@@ -359,7 +382,7 @@ def _run_chunk(plan: CampaignPlan, runs: Sequence[SimRun],
         loop.injector = (FaultInjector(run.fault)
                          if run.fault is not None else None)
         sim = Scenario(init_glucose=run.init_glucose, n_steps=plan.n_steps,
-                       label=run.label)
+                       dt=plan.dt, label=run.label)
         traces.append(loop.run(sim))
     return traces
 
@@ -408,11 +431,18 @@ class SerialExecutor(CampaignExecutor):
     The whole plan is one chunk, so — exactly like the historical serial
     loop — the monitor factory is invoked once per patient and one
     :class:`~repro.simulation.loop.ClosedLoop` is reused across a patient's
-    scenarios.
+    scenarios.  ``batch_size > 1`` runs unmonitored plans through the
+    vectorized engine in batches of that many rows (identical traces).
     """
 
+    def __init__(self, batch_size: int = 1):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size
+
     def map_chunks(self, plan, monitor_factory, mitigator):
-        yield _run_chunk(plan, plan.runs, monitor_factory, mitigator)
+        yield _run_chunk(plan, plan.runs, monitor_factory, mitigator,
+                         batch_size=self.batch_size)
 
 
 class ParallelExecutor(CampaignExecutor):
@@ -430,6 +460,10 @@ class ParallelExecutor(CampaignExecutor):
         Forced multiprocessing start method.  Only ``"fork"`` supports
         unpicklable monitor factories; on platforms without fork the
         executor degrades to in-process serial execution with a warning.
+    batch_size:
+        With ``batch_size > 1`` each worker runs its chunk's unmonitored
+        runs through the vectorized engine in lock-step batches of that
+        many rows, so the pool speedup and the SIMD speedup multiply.
 
     Chunk results are collected strictly in submission order from a
     bounded window of in-flight tasks, so the trace stream is element-wise
@@ -439,15 +473,19 @@ class ParallelExecutor(CampaignExecutor):
 
     def __init__(self, workers: Optional[int] = None,
                  chunks_per_worker: int = 4,
-                 start_method: str = "fork"):
+                 start_method: str = "fork",
+                 batch_size: int = 1):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if chunks_per_worker < 1:
             raise ValueError(
                 f"chunks_per_worker must be >= 1, got {chunks_per_worker}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.workers = workers or (os.cpu_count() or 1)
         self.chunks_per_worker = chunks_per_worker
         self.start_method = start_method
+        self.batch_size = batch_size
 
     def map_chunks(self, plan, monitor_factory, mitigator):
         if (self.workers <= 1 or len(plan) <= 1
@@ -458,21 +496,27 @@ class ParallelExecutor(CampaignExecutor):
                     f"start method {self.start_method!r} unavailable; "
                     "falling back to serial execution", RuntimeWarning,
                     stacklevel=3)
-            yield _run_chunk(plan, plan.runs, monitor_factory, mitigator)
+            yield _run_chunk(plan, plan.runs, monitor_factory, mitigator,
+                             batch_size=self.batch_size)
             return
 
         chunks = shard_plan(plan, self.workers * self.chunks_per_worker)
 
         def run_chunk(runs):
-            return _run_chunk(plan, runs, monitor_factory, mitigator)
+            return _run_chunk(plan, runs, monitor_factory, mitigator,
+                              batch_size=self.batch_size)
 
         yield from fork_map_chunks(run_chunk, chunks, self.workers,
                                    start_method=self.start_method)
 
 
-def get_executor(workers: Optional[int] = None) -> CampaignExecutor:
-    """Executor for *workers* processes (None: ``REPRO_WORKERS`` env, or 1)."""
+def get_executor(workers: Optional[int] = None,
+                 batch_size: Optional[int] = None) -> CampaignExecutor:
+    """Executor for *workers* processes and vectorized batches of
+    *batch_size* runs (None: ``REPRO_WORKERS`` / ``REPRO_BATCH_SIZE`` env,
+    defaulting to serial scalar execution)."""
     workers = resolve_workers(workers)
+    batch_size = resolve_batch_size(batch_size)
     if workers == 1:
-        return SerialExecutor()
-    return ParallelExecutor(workers=workers)
+        return SerialExecutor(batch_size=batch_size)
+    return ParallelExecutor(workers=workers, batch_size=batch_size)

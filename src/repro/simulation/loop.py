@@ -91,7 +91,8 @@ class ClosedLoop:
         recorder = TraceRecorder(
             platform=self.platform, patient_id=self._patient_id(),
             label=scenario.label, dt=scenario.dt,
-            fault=self.injector.spec if self.injector else None)
+            fault=self.injector.spec if self.injector else None,
+            n_steps=scenario.n_steps)
 
         prev_cgm = None
         prev_iob = 0.0
@@ -120,12 +121,16 @@ class ClosedLoop:
 
             # monitor context: fault-free sensor view + post-fault command
             iob = iob_calc.iob(t)
-            bg_rate = 0.0 if prev_cgm is None else (cgm - prev_cgm) / scenario.dt
             iob_rate = (iob - prev_iob) / scenario.dt if step > 0 else 0.0
-            ctx = ContextVector(t=t, bg=cgm, bg_rate=bg_rate, iob=iob,
-                                iob_rate=iob_rate, rate=cmd_rate,
-                                bolus=cmd_bolus, action=action)
-            verdict = self.monitor.observe(ctx) if self.monitor else NO_ALERT
+            if self.monitor is not None:
+                bg_rate = 0.0 if prev_cgm is None else (cgm - prev_cgm) / scenario.dt
+                ctx = ContextVector(t=t, bg=cgm, bg_rate=bg_rate, iob=iob,
+                                    iob_rate=iob_rate, rate=cmd_rate,
+                                    bolus=cmd_bolus, action=action)
+                verdict = self.monitor.observe(ctx)
+            else:
+                ctx = None
+                verdict = NO_ALERT
 
             # mitigation (Algorithm 1): replace unsafe commands
             final_rate, final_bolus = cmd_rate, cmd_bolus

@@ -49,8 +49,12 @@ __all__ = [
     "manifest_path",
 ]
 
-#: bump when the manifest layout or shard payload schema changes
-SCHEMA_VERSION = 1
+#: bump when the manifest layout, the shard payload schema, or the
+#: simulated trace content changes (v2: the control period ``dt`` joined
+#: the fingerprint cells, and the scalar/vector engine unification of
+#: PR 4 moved transcendental rounding from libm to numpy — traces differ
+#: from v1 stores in low-order bits, so v1 stores must not be reused)
+SCHEMA_VERSION = 2
 
 MANIFEST_NAME = "manifest.json"
 
@@ -70,9 +74,9 @@ def manifest_path(directory: str) -> str:
 # fingerprinting
 # ----------------------------------------------------------------------
 
-#: one campaign cell: (patient_id, label, fault-or-None) where the fault is
-#: the 5-tuple (kind, target, start_step, duration_steps, value)
-Cell = Tuple[str, str, Optional[Tuple[str, str, int, int, float]]]
+#: one campaign cell: (patient_id, label, dt, fault-or-None) where the
+#: fault is the 5-tuple (kind, target, start_step, duration_steps, value)
+Cell = Tuple[str, str, float, Optional[Tuple[str, str, int, int, float]]]
 
 
 def _fault_cell(fault: Optional[FaultSpec]
@@ -87,21 +91,22 @@ def campaign_fingerprint(platform: str, n_steps: int,
                          cells: Iterable[Cell]) -> str:
     """SHA-256 hex digest of a campaign's identity.
 
-    Canonical-JSON hash over the platform, the per-trace step count and the
-    *ordered* (patient, label, fault) cells — everything that determines
-    the simulated traces, nothing that doesn't (worker count, directory).
+    Canonical-JSON hash over the platform, the per-trace step count and
+    the *ordered* (patient, label, dt, fault) cells — everything that
+    determines the simulated traces, nothing that doesn't (worker count,
+    batch size, directory).
     """
     doc = {"schema_version": SCHEMA_VERSION, "platform": platform,
            "n_steps": int(n_steps),
-           "cells": [[pid, label, list(fault) if fault else None]
-                     for pid, label, fault in cells]}
+           "cells": [[pid, label, float(dt), list(fault) if fault else None]
+                     for pid, label, dt, fault in cells]}
     blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def plan_fingerprint(plan: CampaignPlan) -> str:
     """The fingerprint a store written from *plan* will carry."""
-    cells = [(run.patient_id, run.label, _fault_cell(run.fault))
+    cells = [(run.patient_id, run.label, plan.dt, _fault_cell(run.fault))
              for run in plan.runs]
     return campaign_fingerprint(plan.platform, plan.n_steps, cells)
 
@@ -111,7 +116,7 @@ def _entry_cell(entry: Mapping) -> Cell:
     if fault is not None:
         fault = (fault["kind"], fault["target"], int(fault["start_step"]),
                  int(fault["duration_steps"]), float(fault["value"]))
-    return (entry["patient_id"], entry["label"], fault)
+    return (entry["patient_id"], entry["label"], float(entry["dt"]), fault)
 
 
 def _entry_fault(entry: Mapping) -> Optional[FaultSpec]:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -21,7 +21,7 @@ from ..hazards import HazardLabel, label_hazards
 from ..stl import Trace
 
 __all__ = ["SimulationTrace", "TraceRecorder", "TRACE_ARRAY_FIELDS",
-           "trace_to_arrays", "trace_from_arrays",
+           "TRACE_COLUMN_DTYPES", "trace_to_arrays", "trace_from_arrays",
            "trace_to_struct", "trace_from_struct"]
 
 #: the per-step array channels of a SimulationTrace, in field order —
@@ -30,6 +30,16 @@ TRACE_ARRAY_FIELDS: Tuple[str, ...] = (
     "t", "true_bg", "cgm", "reading", "ctrl_rate", "ctrl_bolus", "cmd_rate",
     "cmd_bolus", "action", "iob", "iob_rate", "final_rate", "final_bolus",
     "delivered_rate", "delivered_bolus", "alert", "alert_hazard", "mitigated")
+
+#: dtype of each channel — the schema both the scalar recorder and the
+#: vectorized engine's columnar assembly allocate up front (float channels
+#: are float64, discrete ones the platform default int, flags bool)
+TRACE_COLUMN_DTYPES: Dict[str, np.dtype] = {
+    name: np.dtype(np.float64) for name in TRACE_ARRAY_FIELDS}
+TRACE_COLUMN_DTYPES["action"] = np.dtype(np.int_)
+TRACE_COLUMN_DTYPES["alert_hazard"] = np.dtype(np.int_)
+TRACE_COLUMN_DTYPES["alert"] = np.dtype(np.bool_)
+TRACE_COLUMN_DTYPES["mitigated"] = np.dtype(np.bool_)
 
 
 @dataclass(frozen=True)
@@ -195,23 +205,54 @@ def trace_from_struct(arr: np.ndarray, *, platform: str, patient_id: str,
 
 @dataclass
 class TraceRecorder:
-    """Row-by-row builder for :class:`SimulationTrace`."""
+    """Row-by-row builder for :class:`SimulationTrace`.
+
+    Columns are preallocated as :data:`TRACE_COLUMN_DTYPES` arrays — sized
+    exactly when the caller passes ``n_steps`` (the closed loop knows the
+    scenario length up front), grown geometrically otherwise — so appending
+    a step is eighteen indexed stores instead of a dict allocation per row.
+    """
 
     platform: str
     patient_id: str
     label: str
     dt: float
     fault: Optional[FaultSpec] = None
-    _rows: List[dict] = field(default_factory=list)
+    n_steps: Optional[int] = None
+    _columns: Dict[str, np.ndarray] = field(default_factory=dict, repr=False)
+    _size: int = field(default=0, repr=False)
+
+    def __post_init__(self):
+        capacity = self.n_steps if self.n_steps else 64
+        self._columns = {name: np.zeros(capacity, dtype=dtype)
+                         for name, dtype in TRACE_COLUMN_DTYPES.items()}
+
+    def _grow(self) -> None:
+        for name, column in self._columns.items():
+            bigger = np.zeros(2 * len(column), dtype=column.dtype)
+            bigger[:self._size] = column[:self._size]
+            self._columns[name] = bigger
 
     def append(self, **row) -> None:
-        self._rows.append(row)
+        if len(row) != len(TRACE_COLUMN_DTYPES):
+            missing = sorted(set(TRACE_COLUMN_DTYPES) - set(row))
+            raise ValueError(f"append requires every trace channel; "
+                             f"missing {missing}")
+        i = self._size
+        columns = self._columns
+        if i >= len(columns["t"]):
+            self._grow()
+            columns = self._columns
+        for name, value in row.items():
+            columns[name][i] = value
+        self._size = i + 1
 
     def finish(self) -> SimulationTrace:
-        if not self._rows:
+        if not self._size:
             raise ValueError("cannot finish an empty trace")
-        columns = {key: np.array([row[key] for row in self._rows])
-                   for key in self._rows[0]}
+        n = self._size
+        columns = {name: column[:n] if n < len(column) else column
+                   for name, column in self._columns.items()}
         return SimulationTrace(platform=self.platform,
                                patient_id=self.patient_id, label=self.label,
                                dt=self.dt, fault=self.fault, **columns)

@@ -121,7 +121,7 @@ class TestDatasetStore:
                     / "manifest.json")
         doc = json.loads(manifest.read_text())
         doc["traces"][0]["label"] = "not-the-campaign-you-want"
-        cells = [(e["patient_id"], e["label"],
+        cells = [(e["patient_id"], e["label"], e["dt"],
                   None if e["fault"] is None else
                   (e["fault"]["kind"], e["fault"]["target"],
                    e["fault"]["start_step"], e["fault"]["duration_steps"],

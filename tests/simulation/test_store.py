@@ -213,7 +213,8 @@ class TestWriter:
     def test_manifest_contents(self, store_dir, tiny_campaign_traces):
         with open(manifest_path(store_dir)) as fh:
             manifest = json.load(fh)
-        assert manifest["schema_version"] == 1
+        from repro.simulation import SCHEMA_VERSION
+        assert manifest["schema_version"] == SCHEMA_VERSION
         assert manifest["platform"] == TINY_PLATFORM
         assert manifest["n_traces"] == len(tiny_campaign_traces)
         assert len(manifest["traces"]) == len(tiny_campaign_traces)
