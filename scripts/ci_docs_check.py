@@ -1,0 +1,138 @@
+"""CI docs check: markdown links must resolve, documented modules must import.
+
+Two drift classes this catches on every push:
+
+1. **Broken intra-repo links** — every relative ``[text](path)`` link in
+   the repository's markdown files (README, ROADMAP, docs/) must point at
+   an existing file.  External (``http(s)://``, ``mailto:``) and
+   pure-anchor links are skipped; a ``path#anchor`` link is checked for
+   the file part.
+2. **Stale module references** — every backticked ``repro.*`` dotted
+   path mentioned in ``docs/architecture.md`` (the system map) must
+   resolve: the longest importable module prefix is imported and any
+   remaining components (a class, function or attribute, e.g.
+   ``repro.simulation.features.ContextBatch``) are resolved with
+   ``getattr``.  Renaming or deleting a module or public name without
+   updating the map fails the job, which is what keeps the map
+   trustworthy.
+
+Run:  python scripts/ci_docs_check.py
+"""
+
+import importlib
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+ARCHITECTURE_DOC = os.path.join(REPO_ROOT, "docs", "architecture.md")
+
+#: markdown inline links [text](target); images share the syntax
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: backticked dotted module paths under the repro package
+_MODULE = re.compile(r"`(repro(?:\.[A-Za-z_][A-Za-z_0-9]*)+)`")
+#: link schemes that are not repository paths
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def markdown_files():
+    for name in sorted(os.listdir(REPO_ROOT)):
+        if name.endswith(".md"):
+            yield os.path.join(REPO_ROOT, name)
+    docs = os.path.join(REPO_ROOT, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                yield os.path.join(docs, name)
+
+
+def check_links() -> list:
+    """Return a list of broken-link descriptions across all markdown."""
+    problems = []
+    for path in markdown_files():
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        rel = os.path.relpath(path, REPO_ROOT)
+        for target in _LINK.findall(text):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), file_part))
+            if not os.path.exists(resolved):
+                problems.append(f"{rel}: link target {target!r} does not "
+                                f"exist (resolved {os.path.relpath(resolved, REPO_ROOT)})")
+    return problems
+
+
+def _resolve_dotted(path: str) -> None:
+    """Import the longest module prefix of *path*, then getattr the rest.
+
+    Raises on failure — a dotted reference is valid when it names a
+    module (``repro.simulation.vector_replay``) or an attribute reached
+    through one (``repro.simulation.features.ContextBatch``).
+    """
+    parts = path.split(".")
+    last_error = None
+    for cut in range(len(parts), 0, -1):
+        try:
+            obj = importlib.import_module(".".join(parts[:cut]))
+        except ImportError as exc:
+            last_error = exc
+            continue
+        for attr in parts[cut:]:
+            obj = getattr(obj, attr)  # AttributeError = stale reference
+        return
+    raise last_error if last_error is not None else ImportError(path)
+
+
+def check_architecture_modules() -> list:
+    """Return resolution failures for every dotted `repro.*` path that
+    docs/architecture.md names."""
+    if not os.path.exists(ARCHITECTURE_DOC):
+        return [f"{os.path.relpath(ARCHITECTURE_DOC, REPO_ROOT)} is missing "
+                "— the architecture map is a required docs artifact"]
+    with open(ARCHITECTURE_DOC, encoding="utf-8") as fh:
+        references = sorted(set(_MODULE.findall(fh.read())))
+    if not references:
+        return ["docs/architecture.md names no `repro.*` modules — the "
+                "module-import drift check has nothing to verify"]
+    problems = []
+    for reference in references:
+        try:
+            _resolve_dotted(reference)
+        except Exception as exc:  # import/getattr or anything raised there
+            problems.append(f"docs/architecture.md references {reference!r} "
+                            f"which does not resolve: {exc}")
+    print(f"architecture map: {len(references)} references resolve cleanly"
+          if not problems else
+          f"architecture map: {len(problems)} of {len(references)} "
+          "references failed to resolve")
+    return problems
+
+
+def main() -> int:
+    # allow running from a checkout without installing the package
+    src = os.path.join(REPO_ROOT, "src")
+    if os.path.isdir(src) and src not in sys.path:
+        sys.path.insert(0, src)
+
+    n_files = len(list(markdown_files()))
+    problems = check_links()
+    print(f"markdown links: scanned {n_files} files, "
+          f"{len(problems)} broken link(s)")
+    problems += check_architecture_modules()
+    if problems:
+        print("\nFAIL: documentation drift detected:")
+        for line in problems:
+            print(f"  - {line}")
+        return 1
+    print("\nOK: all intra-repo links resolve and every documented module "
+          "imports")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,5 @@
 """CI smoke check: parallel execution, the vectorized engine, the on-disk
-store and the training fan-out must all be exact.
+store, the training fan-out and batched monitor replay must all be exact.
 
 Runs the ``ci``-scale fault-injection grid through the serial executor,
 through a 2-worker process pool and through the lock-step vectorized
@@ -10,9 +10,14 @@ traces are then streamed through a :class:`CampaignStoreWriter` into a
 temporary on-disk dataset, lazily reopened as a :class:`TraceDataset` and
 compared element-wise again (plus a plan-fingerprint check), so the
 write-once/replay-many store is covered by the same every-push smoke.
-Finally the DT/MLP/LSTM :class:`TrainingJob` grid is trained serially and
+The DT/MLP/LSTM :class:`TrainingJob` grid is trained serially and
 through the worker pool and the resulting monitors are compared parameter
 by parameter — the training-parity contract of ``repro.ml.training``.
+Finally every monitor kind (CAWT, CAWOT, Guideline, MPC and the trained
+DT/MLP/LSTM) is replayed over the campaign scalar and through the batched
+``observe_batch`` path at batch sizes {7, 32} x workers {1, 2}, asserting
+element-wise identical alert streams — the exact-parity contract of
+``repro.simulation.vector_replay``.
 
 Run:  python scripts/ci_smoke_parallel.py [workers]
 """
@@ -24,12 +29,15 @@ import time
 
 import numpy as np
 
+from repro.baselines import GuidelineMonitor, MPCMonitor
+from repro.core import cawot_monitor, cawt_monitor, learn_thresholds
 from repro.experiments import ExperimentConfig
 from repro.experiments.data import ml_baseline_jobs
 from repro.fi import CampaignConfig, generate_campaign
 from repro.ml import monitor_state, run_training_jobs
 from repro.simulation import (CampaignStoreWriter, TraceDataset,
-                              plan_campaign, plan_fingerprint, run_campaign)
+                              plan_campaign, plan_fingerprint,
+                              replay_campaign, run_campaign)
 
 
 def traces_identical(a, b) -> bool:
@@ -151,6 +159,45 @@ def main() -> int:
     print(f"OK: all {len(jobs)} training jobs "
           f"({', '.join(t.name for t in trained_serial)}) element-wise "
           "identical at any worker count")
+
+    # batched replay parity: every monitor kind, scalar vs observe_batch,
+    # across batch sizes and worker counts (LSTM exercises the column-loop
+    # fallback; a trace subset keeps its per-cycle cost bounded)
+    monitors = {
+        "CAWT": cawt_monitor(learn_thresholds(serial,
+                                              batch_size=32).thresholds),
+        "CAWOT": cawot_monitor(),
+        "Guideline": GuidelineMonitor(),
+        "MPC": MPCMonitor(horizon_steps=config.mpc_horizon),
+    }
+    monitors.update({t.name: t.monitor for t in trained_serial})
+    replay_traces = {name: (serial[:12] if name == "LSTM" else serial)
+                     for name in monitors}
+    start = time.perf_counter()
+    ref = {name: replay_campaign({name: monitor}, replay_traces[name])[name]
+           for name, monitor in monitors.items()}
+    t_scalar = time.perf_counter() - start
+    start = time.perf_counter()
+    for batch_size in (7, 32):
+        for replay_workers in (1, workers):
+            for name, monitor in monitors.items():
+                batched = replay_campaign(
+                    {name: monitor}, replay_traces[name],
+                    workers=replay_workers, batch_size=batch_size)[name]
+                bad = [i for i, (a, b) in enumerate(zip(ref[name], batched))
+                       if not np.array_equal(a, b)]
+                if len(batched) != len(ref[name]) or bad:
+                    print(f"FAIL: batched replay of {name} diverges from "
+                          f"scalar at batch_size={batch_size}, "
+                          f"workers={replay_workers} "
+                          f"({len(bad)} trace(s), first at "
+                          f"{bad[0] if bad else '?'})")
+                    return 1
+    t_batched = time.perf_counter() - start
+    print(f"OK: batched replay of {len(monitors)} monitor kinds "
+          f"({', '.join(monitors)}) element-wise identical to scalar at "
+          f"batch sizes 7/32 x workers 1/{workers} "
+          f"(scalar {t_scalar:.2f}s, 4 batched sweeps {t_batched:.2f}s)")
     return 0
 
 

@@ -10,11 +10,17 @@ with no knowledge of the controller or patient:
 - phi4: symmetric for the 90th percentile ``lambda_90``.
 
 Violations on the low side predict H1, on the high side H2.
+
+The batched path (:meth:`GuidelineMonitor.observe_batch`) advances one
+time loop with the phi3/phi4 excursion timers held as per-column vectors,
+so a whole replay batch is evaluated in ``n_steps`` numpy steps instead of
+``n_steps x B`` Python cycles — with verdicts element-wise identical to
+the scalar loop (comparisons and exact float arithmetic only).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -121,3 +127,49 @@ class GuidelineMonitor(SafetyMonitor):
             return MonitorVerdict(alert=True, hazard=hazard,
                                   triggered=tuple(triggered))
         return NO_ALERT
+
+    def observe_batch(self, batch) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`observe` over a context batch.
+
+        One time loop; the ``_below_since``/``_above_since`` timers become
+        ``(B,)`` vectors (NaN = unset).  The hazard precedence replays the
+        scalar ``hazard or ...`` chain: phi1 first, then phi2/phi3/phi4
+        only where no earlier rule already set a type.  The monitor's own
+        scalar timers are not touched.
+        """
+        n_steps, n_cols = batch.shape
+        alerts = np.zeros((n_steps, n_cols), dtype=bool)
+        hazards = np.zeros((n_steps, n_cols), dtype=int)
+        h1, h2 = int(HazardType.H1), int(HazardType.H2)
+        below_since = np.full(n_cols, np.nan)
+        above_since = np.full(n_cols, np.nan)
+        for step in range(n_steps):
+            bg = batch.bg[step]
+            t = batch.t[step]
+
+            phi1_low = bg < self.bg_low
+            phi1_high = bg > self.bg_high
+            delta = batch.bg_rate[step] * 5.0
+            phi2_fall = delta < self.delta_low
+            phi2_rise = delta > self.delta_high
+
+            under = bg < self.lambda_10
+            below_set = ~np.isnan(below_since)
+            phi3 = under & below_set & (t - below_since > self.alpha)
+            below_since = np.where(
+                under, np.where(below_set, below_since, t), np.nan)
+
+            over = bg > self.lambda_90
+            above_set = ~np.isnan(above_since)
+            phi4 = over & above_set & (t - above_since > self.alpha)
+            above_since = np.where(
+                over, np.where(above_set, above_since, t), np.nan)
+
+            hazard = np.where(phi1_low, h1, np.where(phi1_high, h2, 0))
+            for cond, code in ((phi2_fall, h1), (phi2_rise, h2),
+                               (phi3, h1), (phi4, h2)):
+                hazard = np.where((hazard == 0) & cond, code, hazard)
+            alerts[step] = (phi1_low | phi1_high | phi2_fall | phi2_rise
+                            | phi3 | phi4)
+            hazards[step] = hazard
+        return alerts, hazards

@@ -10,6 +10,15 @@ which hazard it predicts.
 The context-aware monitor evaluates the 12 Table I rules each cycle.  With
 thresholds learned from data (:mod:`repro.core.learning`) it is the paper's
 **CAWT** monitor; with the clinical defaults it is the **CAWOT** baseline.
+
+Monitors additionally expose a *batched* evaluation path
+(:meth:`SafetyMonitor.observe_batch`) used by offline replay
+(:mod:`repro.simulation.vector_replay`): a whole stack of recorded context
+streams is evaluated column-wise in lock step, with verdicts element-wise
+identical to calling :meth:`~SafetyMonitor.observe` cycle by cycle.  The
+base class provides a column-loop fallback so every custom monitor keeps
+working unchanged; monitors whose arithmetic vectorizes exactly override
+it.
 """
 
 from __future__ import annotations
@@ -17,6 +26,8 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..hazards import HazardType
 from .context import ContextVector
@@ -65,6 +76,50 @@ class SafetyMonitor(abc.ABC):
     def reset(self) -> None:
         """Clear per-simulation state (default: stateless)."""
 
+    def observe_batch(self, batch) -> Tuple[np.ndarray, np.ndarray]:
+        """Evaluate a lock-step stack of recorded context streams.
+
+        Parameters
+        ----------
+        batch:
+            A :class:`~repro.simulation.features.ContextBatch`: ``B``
+            equal-length context streams stacked time-major, exposing
+            ``shape == (n_steps, B)``, the ``(n_steps, B)`` channel
+            matrices ``bg``/``bg_rate``/``iob``/``iob_rate``/``rate``/
+            ``bolus``/``action``/``t``, and per-column access
+            (``iter_column``, ``column_features``).
+
+        Returns
+        -------
+        ``(alerts, hazards)``: an ``(n_steps, B)`` boolean alert matrix
+        and the matching integer hazard-type codes (0 when silent) — the
+        batched form of :class:`MonitorVerdict` (per-rule ``triggered``
+        names are not materialised on this path).
+
+        **Contract**: every column is evaluated as if the monitor had
+        been freshly :meth:`reset` and fed the column's cycles through
+        :meth:`observe` one by one — so batched and scalar replay are
+        element-wise identical for any batch composition.  This default
+        implementation *is* that definition (a per-column scalar loop),
+        which keeps user-defined monitors correct with zero work;
+        vectorized overrides (context-aware rules, DT/MLP, Guideline,
+        MPC) must preserve it bit for bit, and stateful overrides must
+        carry their state as per-column vectors rather than scalar
+        attributes.  The monitor's own scalar state is left reset.
+        """
+        n_steps, n_cols = batch.shape
+        alerts = np.zeros((n_steps, n_cols), dtype=bool)
+        hazards = np.zeros((n_steps, n_cols), dtype=int)
+        for b in range(n_cols):
+            self.reset()
+            for t, ctx in enumerate(batch.iter_column(b)):
+                verdict = self.observe(ctx)
+                alerts[t, b] = verdict.alert
+                hazards[t, b] = (0 if verdict.hazard is None
+                                 else int(verdict.hazard))
+        self.reset()
+        return alerts, hazards
+
 
 class ContextAwareMonitor(SafetyMonitor):
     """The paper's context-aware monitor over the Table I rules.
@@ -110,6 +165,29 @@ class ContextAwareMonitor(SafetyMonitor):
             return MonitorVerdict(alert=True, hazard=hazard,
                                   triggered=tuple(triggered))
         return NO_ALERT
+
+    def observe_batch(self, batch) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized rule evaluation over a whole context batch.
+
+        Each Table I rule becomes one :meth:`~repro.core.rules.APSRule.
+        violated_mask` call over the ``(n_steps, B)`` channel matrices;
+        the predicted hazard comes from the first triggered rule in rule
+        order, exactly like :meth:`observe`.  Pure comparisons — no
+        rounding — so the verdicts match the scalar loop bit for bit.
+        """
+        bg, bg_rate = batch.bg, batch.bg_rate
+        iob, iob_rate, action = batch.iob, batch.iob_rate, batch.action
+        alerts = np.zeros(batch.shape, dtype=bool)
+        hazards = np.zeros(batch.shape, dtype=int)
+        for rule in self.rules:
+            mask = rule.violated_mask(bg, bg_rate, iob, iob_rate, action,
+                                      self.thresholds[rule.param],
+                                      self.bg_target)
+            # first triggered rule determines the predicted hazard (the
+            # scalar loop's `if hazard is None` in rule order)
+            hazards = np.where(mask & ~alerts, int(rule.hazard), hazards)
+            alerts |= mask
+        return alerts, hazards
 
     def with_thresholds(self, thresholds: Dict[str, float],
                         name: Optional[str] = None) -> "ContextAwareMonitor":

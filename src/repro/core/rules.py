@@ -34,6 +34,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+import numpy as np
+
 from ..controllers import ControlAction
 from ..hazards import HazardType
 from ..stl import And, Formula, Param, Predicate
@@ -41,7 +43,7 @@ from .context import ContextVector
 from .scs import SafetyContextSpec, UCASEntry
 
 __all__ = ["APSRule", "aps_rules", "aps_scs", "default_thresholds",
-           "BG_TARGET", "IOB_RATE_EPS"]
+           "rate_mask", "BG_TARGET", "IOB_RATE_EPS"]
 
 #: the paper's BGT (BG target value) in mg/dL
 BG_TARGET = 120.0
@@ -127,6 +129,34 @@ class APSRule:
             return ctx.action != self.action
         return ctx.action == self.action
 
+    def violated_mask(self, bg: np.ndarray, bg_rate: np.ndarray,
+                      iob: np.ndarray, iob_rate: np.ndarray,
+                      action: np.ndarray, threshold: float,
+                      bg_target: float = BG_TARGET) -> np.ndarray:
+        """Vectorized :meth:`violated` over aligned context arrays.
+
+        All inputs share one shape (*action* holds the integer
+        :class:`~repro.controllers.ControlAction` codes); the returned
+        boolean mask is element-wise identical to calling
+        :meth:`violated` per entry — the predicates are pure comparisons,
+        so there is no rounding to diverge.
+        """
+        mask = np.ones(np.shape(bg), dtype=bool)
+        if self.bg_side == "above":
+            mask &= bg > bg_target
+        elif self.bg_side == "below":
+            mask &= bg < bg_target
+        mask &= rate_mask(bg_rate, self.bg_rate, 0.0)
+        mask &= rate_mask(iob_rate, self.iob_rate, IOB_RATE_EPS)
+        mu = iob if self.mu_channel == "IOB" else bg
+        mask &= (mu < threshold) if self.direction == "lt" \
+            else (mu > threshold)
+        if self.required:
+            mask &= action != int(self.action)
+        else:
+            mask &= action == int(self.action)
+        return mask
+
     # ------------------------------------------------------------------
     # STL view
     # ------------------------------------------------------------------
@@ -153,6 +183,26 @@ class APSRule:
                 te: Optional[float] = None) -> Formula:
         """The full Eq. 1 formula ``G[t0,te](context -> consequence)``."""
         return self.ucas_entry(bg_target).to_stl(t0, te)
+
+
+def rate_mask(values: np.ndarray, constraint: Optional[str],
+              eps: float) -> np.ndarray:
+    """Vectorized :func:`_rate_ok`: the sign-constraint mask over an array
+    of rate values (shared by the batched monitor, sample mining and
+    threshold learning so the constraint has exactly one reading)."""
+    if constraint is None:
+        return np.ones(np.shape(values), dtype=bool)
+    if constraint == "pos":
+        return values > eps
+    if constraint == "neg":
+        return values < -eps
+    if constraint == "zero":
+        return (values >= -eps) & (values <= eps)
+    if constraint == "nonpos":
+        return values <= eps
+    if constraint == "nonneg":
+        return values >= -eps
+    raise ValueError(f"unknown rate constraint {constraint!r}")
 
 
 def _rate_ok(value: float, constraint: Optional[str], eps: float) -> bool:

@@ -52,11 +52,15 @@ class ExperimentConfig:
         Results are element-wise identical for every worker count, so
         this is excluded from :meth:`cache_key`.
     batch_size:
-        Lock-step vectorization width for unmonitored campaign and
-        fault-free simulation (:mod:`repro.simulation.vector`); 1 = the
-        scalar loop.  Traces are element-wise identical for every batch
-        size, so this too is excluded from :meth:`cache_key`.  Composes
-        multiplicatively with ``workers``.
+        Lock-step vectorization width; 1 = the scalar loops.  Batches
+        unmonitored campaign and fault-free simulation
+        (:mod:`repro.simulation.vector`), offline monitor replay for
+        Tables V/VI and Fig. 9 (:mod:`repro.simulation.vector_replay`)
+        and the rule-context mining behind CAWT threshold learning
+        (:func:`~repro.core.learning.mine_rule_samples`).  Every batched
+        path is element-wise identical to its scalar loop for every
+        batch size, so this too is excluded from :meth:`cache_key`.
+        Composes multiplicatively with ``workers``.
     dataset_dir:
         When set, campaign and fault-free traces are streamed into an
         on-disk dataset under this root (one subdirectory per

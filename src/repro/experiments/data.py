@@ -193,12 +193,14 @@ def cawt_cv_replay(data: PlatformData,
         # sample mining inside each fit — fan out across the pool
         fold_results = learn_fold_thresholds(
             patient_traces, config.folds, fault_free=ff, loss=loss,
-            window=config.mining_window, workers=config.workers)
+            window=config.mining_window, workers=config.workers,
+            batch_size=config.batch_size)
         for fold, result in enumerate(fold_results):
             _, test = kfold_split(patient_traces, config.folds, fold)
             monitor = cawt_monitor(result.thresholds)
             alerts.extend(replay_many(monitor, test,
-                                      workers=config.workers))
+                                      workers=config.workers,
+                                      batch_size=config.batch_size))
             eval_traces.extend(test)
     return eval_traces, alerts
 
@@ -209,7 +211,7 @@ def cawt_full_thresholds(data: PlatformData, pid: str,
     result = learn_thresholds(
         list(data.by_patient[pid]) + list(data.fault_free_by_patient[pid]),
         loss=loss, window=data.config.mining_window,
-        workers=data.config.workers)
+        workers=data.config.workers, batch_size=data.config.batch_size)
     return result.thresholds
 
 

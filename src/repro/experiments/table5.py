@@ -4,6 +4,11 @@ Sample-level hazard-prediction accuracy (tolerance window) of the
 context-aware monitor with learned thresholds against Guideline, MPC and
 CAWOT, on one platform.  CAWT uses patient-specific thresholds under k-fold
 cross-validation (Section V-B).
+
+All monitor replay and threshold mining here scale with
+``config.workers`` (forked pool) and ``config.batch_size`` (lock-step
+batches, :mod:`repro.simulation.vector_replay`) — both wall-clock knobs
+with element-wise identical results.
 """
 
 from __future__ import annotations
@@ -43,7 +48,8 @@ def run_table5(config: ExperimentConfig) -> ExperimentResult:
     hazard_pct = 100.0 * data.hazard_fraction
     monitors = baseline_monitors(config)
     alert_map = replay_campaign(monitors, data.traces,
-                                workers=config.workers)
+                                workers=config.workers,
+                                batch_size=config.batch_size)
     for name in monitors:
         cm = traces_confusion(data.traces, alert_map[name],
                               delta=config.tolerance)

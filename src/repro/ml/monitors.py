@@ -8,12 +8,21 @@ Binary classifiers can only flag a command as unsafe; the hazard *type*
 needed by the mitigation algorithm is then inferred from the glucose context
 (below target -> H1, above -> H2).  The multi-class variants predict the
 type directly (the Section VI-1 comparison).
+
+Batched replay: the point monitors override
+:meth:`~repro.core.monitor.SafetyMonitor.observe_batch` to classify whole
+context columns at once — the DT through its vectorized flat-tree
+``predict`` (exact comparisons, batch-size invariant), the MLP through
+per-row ``predict`` calls (BLAS matmuls round differently per batch
+shape, so the scalar call pattern is kept) with the context assembly and
+hazard inference vectorized.  The LSTM is stateful over sliding windows
+and keeps the base-class column-loop fallback.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -55,17 +64,63 @@ class _PointMonitor(SafetyMonitor):
         return MonitorVerdict(alert=True, hazard=hazard,
                               triggered=(self.name.lower(),))
 
+    def _predict_rows(self, features: np.ndarray) -> np.ndarray:
+        """Per-row class predictions for one ``(n_steps, D)`` column.
+
+        Default: one ``predict`` call per row — the exact call pattern of
+        :meth:`observe`, so any model is bit-identical to the scalar path
+        by construction (a whole-matrix BLAS matmul is *not*: its
+        rounding depends on the batch shape).  Models whose ``predict``
+        is batch-size invariant override with a single call.
+        """
+        out = np.empty(len(features), dtype=int)
+        for i in range(len(features)):
+            out[i] = int(self.model.predict(features[i:i + 1])[0])
+        return out
+
+    def observe_batch(self, batch) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`observe` over a context batch: per-column
+        feature matrices straight from the shared context stack, hazard
+        inference as array arithmetic, predictions via
+        :meth:`_predict_rows`."""
+        n_steps, n_cols = batch.shape
+        alerts = np.zeros((n_steps, n_cols), dtype=bool)
+        hazards = np.zeros((n_steps, n_cols), dtype=int)
+        h1, h2 = int(HazardType.H1), int(HazardType.H2)
+        for b in range(n_cols):
+            prediction = self._predict_rows(batch.column_features(b))
+            alert = prediction != 0
+            if self.multiclass:
+                hazard = np.where(alert, prediction, 0)
+            else:
+                hazard = np.where(
+                    alert, np.where(batch.bg[:, b] < self.bg_target, h1, h2),
+                    0)
+            alerts[:, b] = alert
+            hazards[:, b] = hazard
+        return alerts, hazards
+
 
 class DTMonitor(_PointMonitor):
     def __init__(self, model: DecisionTreeClassifier, multiclass: bool = False,
                  bg_target: float = 120.0):
         super().__init__(model, "DT", multiclass, bg_target)
 
+    def _predict_rows(self, features: np.ndarray) -> np.ndarray:
+        # the flat-tree predict is batch-size invariant (pure threshold
+        # comparisons), so the whole column classifies in one call
+        return self.model.predict(features).astype(int, copy=False)
+
 
 class MLPMonitor(_PointMonitor):
     def __init__(self, model: MLPClassifier, multiclass: bool = False,
                  bg_target: float = 120.0):
         super().__init__(model, "MLP", multiclass, bg_target)
+
+    def _predict_rows(self, features: np.ndarray) -> np.ndarray:
+        # row-wise matmuls with the batch-invariant work hoisted out (see
+        # MLPClassifier.predict_rows for why whole-matrix BLAS is unsafe)
+        return self.model.predict_rows(features).astype(int, copy=False)
 
 
 class LSTMMonitor(SafetyMonitor):

@@ -145,6 +145,27 @@ class _BaseClassifier:
     def predict(self, X) -> np.ndarray:
         return np.argmax(self.predict_proba(X), axis=1)
 
+    def predict_rows(self, X) -> np.ndarray:
+        """Per-row class predictions, bit-identical to calling
+        :meth:`predict` on each row separately.
+
+        Whole-matrix BLAS matmuls round differently per batch shape, so a
+        monitor replayed in batches cannot just stack its cycles into one
+        ``predict`` call; this keeps the scalar one-row-per-matmul call
+        pattern but hoists the batch-invariant work (input coercion,
+        standardisation) out of the loop and reads the class straight off
+        the logits — ``softmax`` is strictly monotone and tie-preserving,
+        so ``argmax(logits)`` equals ``argmax(predict_proba)`` exactly.
+        """
+        if not self.layers:
+            raise RuntimeError("model is not fitted")
+        X = self.scaler.transform(np.asarray(X, dtype=float))
+        out = np.empty(len(X), dtype=np.intp)
+        for i in range(len(X)):
+            logits = self._forward(X[i:i + 1], training=False)
+            out[i] = np.argmax(logits[0])
+        return out
+
 
 class MLPClassifier(_BaseClassifier):
     """The paper's MLP monitor: Dense(256)-ReLU-Dense(128)-ReLU-softmax."""

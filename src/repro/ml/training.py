@@ -257,7 +257,11 @@ def run_training_jobs(jobs: Sequence[TrainingJob], traces: Sequence,
         trained monitors travel back.
     mmap_root:
         Directory for memory-mapped dataset materialisation; None keeps
-        the matrices in (shared, copy-on-write) memory.
+        the matrices in (shared, copy-on-write) memory.  The backing
+        store never changes a matrix element (see
+        :func:`~repro.ml.datasets.build_point_dataset`), so trained
+        monitors are identical with or without it; a finished directory
+        is reused as-is on the next call.
 
     The result is element-wise identical — every weight, every split
     threshold — for every worker count, because each job's data selection

@@ -67,6 +67,7 @@ class DecisionTreeClassifier:
         self.min_samples_leaf = min_samples_leaf
         self.max_thresholds = max_thresholds
         self._root: Optional[_Node] = None
+        self._flat: Optional[tuple] = None
         self.classes_: Optional[np.ndarray] = None
         self.n_nodes_ = 0
 
@@ -84,6 +85,7 @@ class DecisionTreeClassifier:
             raise ValueError("cannot fit on empty data")
         self.classes_, y_enc = np.unique(y, return_inverse=True)
         self.n_nodes_ = 0
+        self._flat = None
         self._root = self._build(X, y_enc, depth=0)
         return self
 
@@ -172,9 +174,57 @@ class DecisionTreeClassifier:
             out[i] = counts / counts.sum()
         return out
 
+    def _flat_tree(self) -> tuple:
+        """Child-indexed flat view for vectorized traversal (cached per
+        fit): ``(features, thresholds, left, right, predictions)``.
+
+        Built from the same preorder layout as :meth:`node_arrays` — the
+        left child of an interior node is the next preorder index, the
+        right child follows the left subtree — with the per-node class
+        prediction precomputed exactly as :meth:`predict_proba` +
+        ``argmax`` would resolve it at a leaf.
+        """
+        if self._flat is None:
+            features, thresholds, counts = self.node_arrays()
+            n = len(features)
+            left = np.full(n, -1, dtype=np.intp)
+            right = np.full(n, -1, dtype=np.intp)
+            # reconstruct children from preorder: interior nodes wait on
+            # the stack, first arrival is the left child, second (after
+            # the left subtree completes) the right
+            stack = [0] if features[0] >= 0 else []
+            for i in range(1, n):
+                parent = stack[-1]
+                if left[parent] < 0:
+                    left[parent] = i
+                else:
+                    right[parent] = i
+                    stack.pop()
+                if features[i] >= 0:
+                    stack.append(i)
+            proba = counts / counts.sum(axis=1, keepdims=True)
+            predictions = self.classes_[np.argmax(proba, axis=1)]
+            self._flat = (features, thresholds, left, right, predictions)
+        return self._flat
+
     def predict(self, X) -> np.ndarray:
-        proba = self.predict_proba(X)
-        return self.classes_[np.argmax(proba, axis=1)]
+        """Predicted class per row, via one vectorized level-by-level
+        traversal of the flat tree — element-wise identical to the
+        per-row :meth:`_leaf` walk (the split comparisons are exact) at
+        any batch size, which is what lets the batched monitor replay
+        call it on whole context stacks."""
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        features, thresholds, left, right, predictions = self._flat_tree()
+        index = np.zeros(len(X), dtype=np.intp)
+        active = np.flatnonzero(features[index] >= 0)
+        while active.size:
+            node = index[active]
+            go_left = X[active, features[node]] <= thresholds[node]
+            index[active] = np.where(go_left, left[node], right[node])
+            active = active[features[index[active]] >= 0]
+        return predictions[index]
 
     def node_arrays(self):
         """Preorder flattening of the fitted tree into three arrays:

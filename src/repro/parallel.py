@@ -24,7 +24,8 @@ import warnings
 from collections import deque
 from typing import Any, Callable, Iterator, List, Optional, Sequence
 
-__all__ = ["shard_indices", "fork_map_chunks", "resolve_workers"]
+__all__ = ["shard_indices", "fork_map_chunks", "resolve_workers",
+           "resolve_batch_size", "iter_equal_length_groups"]
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -34,6 +35,42 @@ def resolve_workers(workers: Optional[int]) -> int:
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     return workers
+
+
+def resolve_batch_size(batch_size: Optional[int]) -> int:
+    """Normalise a ``batch_size=`` argument (None: ``REPRO_BATCH_SIZE`` env,
+    or 1 = scalar execution).  Shared by the simulation engine, monitor
+    replay and robustness-sample mining so one knob means one thing."""
+    if batch_size is None:
+        batch_size = int(os.environ.get("REPRO_BATCH_SIZE", "1"))
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    return batch_size
+
+
+def iter_equal_length_groups(items: Any, batch_size: int) -> Iterator[list]:
+    """Group a stream into consecutive equal-``len()`` batches.
+
+    The shared grouping rule of every lock-step batched path (monitor
+    replay, robustness-sample mining): groups hold at most *batch_size*
+    items and never mix lengths — a length change closes the current
+    group — so concatenating the groups always reproduces the input
+    order and every group stacks into one rectangular batch.  Streaming:
+    at most one group is resident at a time.  Living here (below both
+    :mod:`repro.core` and :mod:`repro.simulation`) keeps the
+    parity-critical boundary rule in exactly one place.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    group: list = []
+    for item in items:
+        if group and (len(group) >= batch_size
+                      or len(item) != len(group[0])):
+            yield group
+            group = []
+        group.append(item)
+    if group:
+        yield group
 
 
 def shard_indices(n: int, n_chunks: int) -> List[range]:

@@ -43,7 +43,8 @@ import numpy as np
 from ..core.mitigation import Mitigator
 from ..core.monitor import SafetyMonitor
 from ..fi import FaultInjector, FaultSpec, InjectionScenario
-from ..parallel import fork_map_chunks, resolve_workers, shard_indices
+from ..parallel import (fork_map_chunks, resolve_batch_size, resolve_workers,
+                        shard_indices)
 from .scenario import Scenario
 from .trace import SimulationTrace, trace_to_arrays, trace_to_struct
 
@@ -162,6 +163,10 @@ class ProfileCache:
     def __len__(self) -> int:
         with self._lock:
             return len(self._profiles)
+
+    def __contains__(self, key: tuple) -> bool:
+        with self._lock:
+            return key in self._profiles
 
 
 class BaselineCache:
@@ -338,16 +343,6 @@ class NpyDirectorySink(NpzDirectorySink):
 # ----------------------------------------------------------------------
 # the shared chunk runner
 # ----------------------------------------------------------------------
-
-def resolve_batch_size(batch_size: Optional[int]) -> int:
-    """Normalise a ``batch_size=`` argument (None: ``REPRO_BATCH_SIZE`` env,
-    or 1 = scalar execution)."""
-    if batch_size is None:
-        batch_size = int(os.environ.get("REPRO_BATCH_SIZE", "1"))
-    if batch_size < 1:
-        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-    return batch_size
-
 
 def _run_chunk(plan: CampaignPlan, runs: Sequence[SimRun],
                monitor_factory: Optional[MonitorFactory],

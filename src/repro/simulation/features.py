@@ -1,24 +1,31 @@
 """Canonical per-cycle context reconstruction from recorded traces.
 
-Offline monitor replay (:mod:`repro.simulation.replay`) and ML dataset
-construction (:mod:`repro.ml.datasets`) both rebuild the monitor's view of
+Offline monitor replay (:mod:`repro.simulation.replay`), its batched
+sibling (:mod:`repro.simulation.vector_replay`) and ML dataset
+construction (:mod:`repro.ml.datasets`) all rebuild the monitor's view of
 a trace: clean CGM, its finite-difference rate, loop-side IOB bookkeeping
 and the post-fault-injection command, plus the one-hot control action.
 They used to each carry their own copy of that arithmetic — a drift risk,
 since a silent disagreement would make the ML monitors train on features
 that differ from what replay (and the live loop) feeds them.  This module
-is the single shared implementation both sides delegate to.
+is the single shared implementation every consumer delegates to:
+:func:`context_matrix` for one trace, :class:`ContextBatch` for a
+lock-step stack of traces, with the scalar context stream
+(:func:`~repro.simulation.replay.iter_contexts`) defined as the ``B=1``
+column view of the same stack.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
 
 import numpy as np
 
 from ..controllers import ControlAction
+from ..core.context import ContextVector
 
-__all__ = ["FEATURE_NAMES", "context_matrix", "context_row"]
+__all__ = ["FEATURE_NAMES", "context_matrix", "context_row", "ContextBatch"]
 
 #: feature layout shared by replay, training data and runtime monitors
 FEATURE_NAMES: Tuple[str, ...] = ("BG", "BG'", "IOB", "IOB'", "rate", "bolus",
@@ -49,3 +56,109 @@ def context_row(ctx) -> np.ndarray:
     row = [ctx.bg, ctx.bg_rate, ctx.iob, ctx.iob_rate, ctx.rate, ctx.bolus]
     row.extend(1.0 if ctx.action == act else 0.0 for act in ControlAction)
     return np.asarray(row, dtype=float)
+
+
+@dataclass(frozen=True)
+class ContextBatch:
+    """A lock-step stack of per-cycle context streams.
+
+    ``B`` equal-length traces stacked time-major: ``features[t, :, b]`` is
+    exactly the :func:`context_matrix` row the closed loop fed the monitor
+    at cycle ``t`` of trace ``b``, with the time stamps and the discrete
+    action codes riding along.  This is the input of
+    :meth:`repro.core.monitor.SafetyMonitor.observe_batch`; the scalar
+    context stream (:func:`~repro.simulation.replay.iter_contexts`) is the
+    ``B=1`` special case via :meth:`iter_column`, so the batched and
+    scalar replay paths consume the identical floating-point values by
+    construction.
+
+    Attributes
+    ----------
+    t:
+        ``(n_steps, B)`` time stamps in minutes (one column per trace).
+    features:
+        ``(n_steps, len(FEATURE_NAMES), B)`` stacked context matrices.
+    action:
+        ``(n_steps, B)`` integer :class:`~repro.controllers.ControlAction`
+        codes of the commanded action.
+    dt:
+        ``(B,)`` control periods; traces of different ``dt`` may share a
+        batch (the rates are computed per column before stacking).
+    """
+
+    t: np.ndarray
+    features: np.ndarray
+    action: np.ndarray
+    dt: np.ndarray
+
+    @classmethod
+    def from_traces(cls, traces: Sequence) -> "ContextBatch":
+        """Stack equal-length traces into one batch (column order = input
+        order).  Raises ``ValueError`` on an empty or ragged input — the
+        batching iterator of :mod:`repro.simulation.vector_replay` groups
+        a heterogeneous stream into valid batches."""
+        traces = list(traces)
+        if not traces:
+            raise ValueError("cannot build a ContextBatch from zero traces")
+        lengths = {len(trace) for trace in traces}
+        if len(lengths) != 1:
+            raise ValueError(
+                f"all traces in a batch must share one length, got "
+                f"{sorted(lengths)}")
+        return cls(
+            t=np.stack([trace.t for trace in traces], axis=1),
+            features=np.stack([context_matrix(trace) for trace in traces],
+                              axis=2),
+            action=np.stack([trace.action for trace in traces], axis=1),
+            dt=np.array([float(trace.dt) for trace in traces]))
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(n_steps, B)``."""
+        return (self.features.shape[0], self.features.shape[2])
+
+    # named channel views, all (n_steps, B) — the batched monitors index
+    # these instead of building a ContextVector per cycle
+    @property
+    def bg(self) -> np.ndarray:
+        return self.features[:, 0, :]
+
+    @property
+    def bg_rate(self) -> np.ndarray:
+        return self.features[:, 1, :]
+
+    @property
+    def iob(self) -> np.ndarray:
+        return self.features[:, 2, :]
+
+    @property
+    def iob_rate(self) -> np.ndarray:
+        return self.features[:, 3, :]
+
+    @property
+    def rate(self) -> np.ndarray:
+        return self.features[:, 4, :]
+
+    @property
+    def bolus(self) -> np.ndarray:
+        return self.features[:, 5, :]
+
+    def column_features(self, b: int) -> np.ndarray:
+        """Contiguous ``(n_steps, len(FEATURE_NAMES))`` feature matrix of
+        column *b* — row ``t`` equals the scalar
+        :func:`~repro.ml.datasets.context_features` of that cycle."""
+        return np.ascontiguousarray(self.features[:, :, b])
+
+    def iter_column(self, b: int) -> Iterator[ContextVector]:
+        """Yield column *b* as the scalar per-cycle ContextVector stream —
+        the exact values :meth:`~repro.core.monitor.SafetyMonitor.observe`
+        sees when the trace is replayed serially."""
+        features = self.features
+        for step in range(features.shape[0]):
+            bg, bg_rate, iob, iob_rate, rate, bolus = features[step, :6, b]
+            yield ContextVector(
+                t=float(self.t[step, b]), bg=float(bg),
+                bg_rate=float(bg_rate), iob=float(iob),
+                iob_rate=float(iob_rate), rate=float(rate),
+                bolus=float(bolus),
+                action=ControlAction(int(self.action[step, b])))

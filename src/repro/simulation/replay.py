@@ -6,12 +6,16 @@ needs to be *simulated once*; every candidate monitor can then be evaluated
 by replaying the recorded context stream through it.  This is what makes the
 paper's many-monitor comparisons (Tables V, VI, Fig. 9) tractable.
 
-:func:`replay_campaign` scales that replay the same way the campaign
+:func:`replay_campaign` scales that replay the same two ways the campaign
 executor scales simulation: the trace list is cut into deterministic index
 chunks and fanned out over the forked-pool protocol of
-:mod:`repro.parallel`, with every monitor reset per trace — so the alert
-streams are element-wise identical for any worker count.  It accepts any
-trace sequence, in particular the lazy
+:mod:`repro.parallel` (``workers=``), and within each chunk the traces can
+be stacked into lock-step context batches evaluated column-wise through
+:meth:`~repro.core.monitor.SafetyMonitor.observe_batch`
+(``batch_size=``, see :mod:`repro.simulation.vector_replay`).  Both knobs
+are wall-clock knobs only: every monitor is reset per trace, so the alert
+streams are element-wise identical for any ``workers``/``batch_size``
+combination.  Any trace sequence works, in particular the lazy
 :class:`~repro.simulation.store.TraceDataset`, in which case each worker
 loads only its own shards.
 """
@@ -22,11 +26,10 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from ..controllers import ControlAction
-from ..core.context import ContextVector
 from ..core.monitor import SafetyMonitor
-from ..parallel import fork_map_chunks, resolve_workers, shard_indices
-from .features import context_matrix
+from ..parallel import (fork_map_chunks, resolve_batch_size, resolve_workers,
+                        shard_indices)
+from .features import ContextBatch
 from .trace import SimulationTrace
 
 __all__ = ["replay_monitor", "replay_many", "replay_campaign",
@@ -36,19 +39,13 @@ __all__ = ["replay_monitor", "replay_many", "replay_campaign",
 def iter_contexts(trace: SimulationTrace):
     """Yield the per-cycle :class:`ContextVector` stream of a trace.
 
-    Reconstructs exactly what the closed loop fed the monitor, row by row
-    of the shared :func:`~repro.simulation.features.context_matrix` —
+    Reconstructs exactly what the closed loop fed the monitor: the ``B=1``
+    column of the shared
+    :class:`~repro.simulation.features.ContextBatch` — replay, batched
     replay and ML dataset construction therefore agree cycle-for-cycle by
     construction.
     """
-    matrix = context_matrix(trace)
-    for t in range(len(trace)):
-        bg, bg_rate, iob, iob_rate, rate, bolus = matrix[t, :6]
-        yield ContextVector(
-            t=float(trace.t[t]), bg=float(bg), bg_rate=float(bg_rate),
-            iob=float(iob), iob_rate=float(iob_rate),
-            rate=float(rate), bolus=float(bolus),
-            action=ControlAction(int(trace.action[t])))
+    yield from ContextBatch.from_traces([trace]).iter_column(0)
 
 
 def replay_monitor(monitor: SafetyMonitor,
@@ -81,6 +78,7 @@ def _replay_alerts(monitor: SafetyMonitor, contexts) -> np.ndarray:
 def replay_campaign(monitors: Mapping[str, SafetyMonitor],
                     traces: Iterable[SimulationTrace],
                     workers: Optional[int] = None,
+                    batch_size: Optional[int] = None,
                     chunks_per_worker: int = 4
                     ) -> Dict[str, List[np.ndarray]]:
     """Replay a named set of monitors over recorded traces, in parallel.
@@ -94,8 +92,9 @@ def replay_campaign(monitors: Mapping[str, SafetyMonitor],
         all monitors.
     traces:
         Any iterable of traces.  Serially, plain iterables (generators
-        included) are streamed one trace at a time; with ``workers > 1``
-        a sequence is required for index chunking — ideally a lazy
+        included) are streamed one trace (one batch, with
+        ``batch_size > 1``) at a time; with ``workers > 1`` a sequence is
+        required for index chunking — ideally a lazy
         :class:`~repro.simulation.store.TraceDataset`, so each worker
         loads only its own shards (non-sequence iterables are
         materialised first).
@@ -105,6 +104,17 @@ def replay_campaign(monitors: Mapping[str, SafetyMonitor],
         models and lazy datasets work unchanged; only the boolean alert
         arrays travel back.  Output is element-wise identical to
         ``workers=1`` for every worker count.
+    batch_size:
+        Lock-step replay width (None: ``REPRO_BATCH_SIZE`` env, or 1 =
+        the scalar per-cycle loop).  Traces are stacked into
+        ``(n_steps, B)`` context batches and every monitor is evaluated
+        column-wise via
+        :meth:`~repro.core.monitor.SafetyMonitor.observe_batch` (see
+        :mod:`repro.simulation.vector_replay`); the alert streams are
+        element-wise identical to the scalar path for every batch size,
+        and the knob composes multiplicatively with *workers* — each pool
+        chunk becomes a sequence of lock-step batches, exactly like the
+        simulation engine.
 
     Returns ``name -> list of per-trace boolean alert arrays``, aligned
     with *traces*.
@@ -114,9 +124,14 @@ def replay_campaign(monitors: Mapping[str, SafetyMonitor],
             f"chunks_per_worker must be >= 1, got {chunks_per_worker}")
     named = dict(monitors)
     workers = resolve_workers(workers)
+    batch_size = resolve_batch_size(batch_size)
     out: Dict[str, List[np.ndarray]] = {name: [] for name in named}
     if not named:
         return out
+    if batch_size > 1:
+        from .vector_replay import replay_chunk_batched
+        if workers <= 1:
+            return replay_chunk_batched(named, traces, batch_size)
     if workers <= 1:
         # stream: one trace resident at a time, whatever the iterable
         for trace in traces:
@@ -133,6 +148,9 @@ def replay_campaign(monitors: Mapping[str, SafetyMonitor],
     chunks = shard_indices(n, workers * chunks_per_worker)
 
     def replay_chunk(index_range):
+        if batch_size > 1:
+            return replay_chunk_batched(
+                named, (traces[i] for i in index_range), batch_size)
         result = {name: [] for name in named}
         for i in index_range:
             contexts = list(iter_contexts(traces[i]))
@@ -148,7 +166,10 @@ def replay_campaign(monitors: Mapping[str, SafetyMonitor],
 
 def replay_many(monitor: SafetyMonitor,
                 traces: Iterable[SimulationTrace],
-                workers: Optional[int] = None) -> List[np.ndarray]:
-    """Alert sequences of *monitor* over a list of traces."""
-    return replay_campaign({"monitor": monitor}, traces,
-                           workers=workers)["monitor"]
+                workers: Optional[int] = None,
+                batch_size: Optional[int] = None) -> List[np.ndarray]:
+    """Alert sequences of *monitor* over a list of traces (``workers`` and
+    ``batch_size`` as for :func:`replay_campaign` — both are wall-clock
+    knobs with element-wise identical output)."""
+    return replay_campaign({"monitor": monitor}, traces, workers=workers,
+                           batch_size=batch_size)["monitor"]

@@ -5,8 +5,9 @@ then replays every candidate monitor, threshold learner and ML dataset
 builder over the recorded traces.  This module turns that "run once" step
 into a durable artifact:
 
-- :class:`CampaignStoreWriter` streams traces (in plan order, from any
-  executor and worker count) into per-trace shards — compressed ``.npz``
+- :class:`CampaignStoreWriter` streams traces (in plan order, byte-identical
+  from any executor, worker count or vectorization batch size) into
+  per-trace shards — compressed ``.npz``
   (default) or uncompressed structured ``.npy`` for zero-copy
   ``mmap_mode="r"`` reads (``shard_format="npy"``) — and finalises a
   ``manifest.json`` keyed by patient / scenario / fold, carrying a schema
@@ -284,6 +285,11 @@ class TraceDataset(SequenceABC):
     bounded by the window — never by campaign size — even across repeated
     passes.  All views created by :meth:`subset` / :meth:`by_patient` /
     :meth:`fold_split` share the parent's cache and :class:`DatasetStats`.
+    Downstream ``workers=`` consumers chunk a dataset by index (each
+    forked worker loads only its own shards) and ``batch_size=``
+    consumers stack one group of traces at a time, so both knobs keep the
+    bounded-memory guarantee and return element-wise identical results to
+    a serial in-memory pass.
 
     Opening validates the manifest eagerly (schema version, fingerprint
     consistency); shard problems — missing files, corrupted payloads, a

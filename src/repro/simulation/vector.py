@@ -37,7 +37,7 @@ import numpy as np
 from ..controllers.base import ACTION_TOLERANCE
 from ..controllers.iob import InsulinActivityCurve
 from ..fi.faults import FaultKind, FaultTarget, VARIABLE_RANGES
-from ..patients import Meal, make_patient
+from ..patients import IVPPatient, Meal, make_patient
 from ..patients.base import UU_PER_UNIT
 from ..patients.ivp import meal_ra
 from ..patients.kernels import (IVPColumns, T1DColumns, ivp_init_state,
@@ -46,10 +46,11 @@ from ..patients.kernels import (IVPColumns, T1DColumns, ivp_init_state,
 from ..patients.kernels import GP as _GP, GS as _GS, QSTO1 as _QSTO1
 from ..patients.pump import InsulinPump
 from ..patients.sensor import CGM_RANGE
-from .executor import SimRun
+from .executor import PROFILE_CACHE, SimRun
 from .trace import TRACE_ARRAY_FIELDS, TRACE_COLUMN_DTYPES, SimulationTrace
 
-__all__ = ["run_batch", "run_vector_chunk"]
+__all__ = ["run_batch", "run_vector_chunk", "titrate_isf_batch",
+           "warm_profiles"]
 
 
 # ----------------------------------------------------------------------
@@ -365,6 +366,109 @@ class _T1DBatch:
 
 
 # ----------------------------------------------------------------------
+# batched fault-free titration (controller-profile cold start)
+# ----------------------------------------------------------------------
+
+def titrate_isf_batch(patients: Sequence, target: float = 120.0,
+                      bolus_u: float = 1.0,
+                      horizon_min: float = 300.0) -> np.ndarray:
+    """Batched :func:`~repro.simulation.batch.empirical_isf` — one column
+    per patient model, advanced in lock step on the shared kernels.
+
+    Titration is the dominant cold-start cost of a campaign (one 300-minute
+    unit-bolus simulation per cohort member); this runs the whole cohort's
+    rest-bolus-observe protocol as a single ``(n_states, B)`` batch.  The
+    scalar titration drives ``PatientModel.step`` whose RK4 is bit-equal to
+    these kernels at ``B=1``, and every surrounding expression (infusion
+    split, running minimum, the 5 mg/dL/U floor) transcribes the scalar
+    arithmetic elementwise — so the returned ISF values are **element-wise
+    identical** to titrating each patient serially.
+
+    All patients must be of one model family; S2013 patients must have
+    their chronic insulin reference anchored at *target* (the
+    configuration every campaign path builds), since that is what the
+    scalar ``reset(target)`` uses.
+    """
+    patients = list(patients)
+    if not patients:
+        return np.zeros(0)
+    kind = type(patients[0])
+    if not all(isinstance(p, kind) for p in patients):
+        raise ValueError("lock-step titration requires one patient model "
+                         "family per batch")
+    params = [p.params for p in patients]
+    if isinstance(patients[0], IVPPatient):
+        plant = _IVPBatch(params)
+    else:
+        off_target = [p.name for p in patients
+                      if p.target_glucose != float(target)]
+        if off_target:
+            raise ValueError(
+                f"S2013 titration anchors the insulin reference at the "
+                f"patient's target_glucose; {off_target} are not at "
+                f"{target} — titrate them with the scalar empirical_isf")
+        plant = _T1DBatch(params)
+
+    n_cols = len(patients)
+    basal = np.array([p.basal_rate(target) for p in patients])
+    state = plant.reset(np.full(n_cols, float(target)), target)
+
+    duration = 5.0  # the scalar titration steps at the default APS cycle
+    n_steps = int(horizon_min / duration)
+    n_sub = max(1, int(round(duration / kind.dt_integration)))
+    dt_sub = duration / n_sub
+    basal_uu_min = basal * UU_PER_UNIT / 60.0
+    bolus_uu = bolus_u * UU_PER_UNIT
+    low = None
+    for step in range(n_steps):
+        for i in range(n_sub):
+            if step == 0 and i == 0:
+                infusion = basal_uu_min + bolus_uu / dt_sub
+            else:
+                infusion = basal_uu_min
+            state = plant.advance(state, dt_sub, infusion, None)
+        glucose = plant.glucose(state)
+        low = glucose.copy() if low is None else np.minimum(low, glucose)
+    isf = (target - low) / bolus_u
+    return np.where(isf < 5.0, 5.0, isf)
+
+
+def _seed_profiles(patients: Dict[str, object], target: float) -> None:
+    """Batch-titrate the cohort members whose controller profile is not in
+    the process-wide :data:`~repro.simulation.executor.PROFILE_CACHE` yet
+    and seed the cache, so the subsequent per-patient ``make_controller``
+    calls are pure lookups."""
+    missing = {pid: patient for pid, patient in patients.items()
+               if (patient.name, target) not in PROFILE_CACHE}
+    if not missing:
+        return
+    isf = titrate_isf_batch(list(missing.values()), target)
+    for value, (pid, patient) in zip(isf, missing.items()):
+        profile = {"basal": patient.basal_rate(target), "isf": float(value),
+                   "target": target}
+        PROFILE_CACHE.get_or_compute((patient.name, target),
+                                     lambda profile=profile: profile)
+
+
+def warm_profiles(platform: str, patient_ids: Sequence[str],
+                  target: float = 120.0) -> Dict[str, Dict[str, float]]:
+    """Titrate a cohort's controller profiles in one lock-step batch.
+
+    Seeds the process-wide profile cache (element-wise identical to the
+    serial :func:`~repro.simulation.batch.controller_profile` titration)
+    and returns ``patient_id -> profile``.  Call before a cold campaign to
+    pay the titration cost once, vectorized, instead of per patient.
+    """
+    from .batch import controller_profile  # deferred: batch imports us too
+
+    patients = {pid: make_patient(platform, pid, target_glucose=target)
+                for pid in dict.fromkeys(patient_ids)}
+    _seed_profiles(patients, target)
+    return {pid: controller_profile(patient, target)
+            for pid, patient in patients.items()}
+
+
+# ----------------------------------------------------------------------
 # meal precomputation (exact scalar replication)
 # ----------------------------------------------------------------------
 
@@ -457,16 +561,19 @@ def run_batch(platform: str, runs: Sequence[SimRun], n_steps: int,
     # one patient model + titrated scalar controller per distinct cohort
     # member: the controller instances are the source of every tuning
     # column below (profile basal/ISF and class defaults alike), so the
-    # vector engine can never drift from the scalar configuration
+    # vector engine can never drift from the scalar configuration.  The
+    # titration itself runs as one lock-step batch over the uncached
+    # members (bit-identical to the serial empirical_isf) before the
+    # controllers are built from the now-warm cache.
     patients: Dict[str, object] = {}
-    controllers: Dict[str, object] = {}
     for run in runs:
         if run.patient_id not in patients:
-            patient = make_patient(platform, run.patient_id,
-                                   target_glucose=target)
-            patients[run.patient_id] = patient
-            controllers[run.patient_id] = make_controller(platform, patient,
-                                                          target)
+            patients[run.patient_id] = make_patient(platform, run.patient_id,
+                                                    target_glucose=target)
+    _seed_profiles(patients, target)
+    controllers: Dict[str, object] = {
+        pid: make_controller(platform, patient, target)
+        for pid, patient in patients.items()}
     trace_ids = {pid: (p.name.split("/", 1)[1] if "/" in p.name else p.name)
                  for pid, p in patients.items()}
     params = [patients[run.patient_id].params for run in runs]

@@ -1,0 +1,129 @@
+"""Batched (lock-step) offline monitor replay.
+
+PR 4 made *simulation* advance whole batches of runs as ``(n_states, B)``
+matrices, but monitor evaluation — the paper's Tables V/VI and Fig. 9 hot
+path — still walked every recorded trace one Python cycle at a time.  This
+module lifts replay the same way: stored or streamed traces are stacked
+into ``(n_steps, B)`` context batches
+(:class:`~repro.simulation.features.ContextBatch`) and every monitor is
+evaluated column-wise through
+:meth:`~repro.core.monitor.SafetyMonitor.observe_batch`.
+
+The contract mirrors the vector simulation engine's **exact parity**: for
+any batch composition and size, the alert streams are element-wise
+identical to the scalar :func:`~repro.simulation.replay.replay_campaign`
+loop.  Three rules deliver it:
+
+- the context values come from the *same*
+  :func:`~repro.simulation.features.context_matrix` rows the scalar
+  stream yields (there is one context builder; the scalar stream is its
+  ``B=1`` column view);
+- vectorized ``observe_batch`` implementations (context-aware rules,
+  DT/MLP, Guideline, MPC) transcribe the scalar arithmetic with identical
+  operation order — comparisons and size-invariant ufuncs only — while
+  whole-matrix BLAS calls, whose rounding depends on batch shape, are
+  deliberately avoided (the MLP classifies per row for exactly this
+  reason);
+- everything else (the LSTM's sliding-window state, any user-defined
+  monitor) falls back to the base class's per-column scalar loop, which
+  *is* the scalar definition.
+
+Batches are greedy groups of consecutive equal-length traces, so a
+heterogeneous stream (campaign plus fault-free runs of a different
+``n_steps``) batches as far as its layout allows; batch boundaries cannot
+affect the verdicts (columns are independent), so any ``batch_size``
+yields the identical stream.  Memory stays bounded by the batch: one
+:class:`ContextBatch` is resident at a time, so lazy
+:class:`~repro.simulation.store.TraceDataset` streams keep their
+bounded-memory guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..core.monitor import SafetyMonitor
+from ..parallel import iter_equal_length_groups
+from .features import ContextBatch
+from .trace import SimulationTrace
+
+__all__ = ["iter_trace_batches", "replay_chunk_batched",
+           "replay_monitor_batched"]
+
+
+def iter_trace_batches(traces: Iterable[SimulationTrace],
+                       batch_size: int) -> Iterator[List[SimulationTrace]]:
+    """Group a trace stream into consecutive equal-length batches.
+
+    The shared :func:`~repro.parallel.iter_equal_length_groups` boundary
+    rule: batches hold at most *batch_size* traces and never mix lengths
+    (a length change closes the current batch), so concatenating the
+    groups always reproduces the input order and every group is a valid
+    :meth:`ContextBatch.from_traces` input.  Streaming: at most one group
+    is resident at a time.
+    """
+    return iter_equal_length_groups(traces, batch_size)
+
+
+def _observe_checked(monitor: SafetyMonitor, name: str,
+                     batch: ContextBatch) -> Tuple[np.ndarray, np.ndarray]:
+    """Run ``observe_batch`` and validate the verdict-matrix shapes, so a
+    miswritten override fails loudly instead of silently misaligning the
+    per-trace alert streams."""
+    alerts, hazards = monitor.observe_batch(batch)
+    if np.shape(alerts) != batch.shape or np.shape(hazards) != batch.shape:
+        raise ValueError(
+            f"monitor {name!r} returned verdict matrices of shape "
+            f"{np.shape(alerts)}/{np.shape(hazards)} for a context batch "
+            f"of shape {batch.shape}")
+    return alerts, hazards
+
+
+def replay_chunk_batched(monitors: Mapping[str, SafetyMonitor],
+                         traces: Iterable[SimulationTrace],
+                         batch_size: int) -> Dict[str, List[np.ndarray]]:
+    """Replay *monitors* over a trace stream in lock-step batches.
+
+    The batched chunk runner behind
+    :func:`~repro.simulation.replay.replay_campaign` — the serial path
+    hands it the whole stream, the parallel path one index chunk per
+    task, so ``workers`` and ``batch_size`` compose without touching the
+    verdicts.  Returns ``name -> per-trace boolean alert arrays`` aligned
+    with the input stream, exactly like the scalar runner.
+    """
+    named = dict(monitors)
+    out: Dict[str, List[np.ndarray]] = {name: [] for name in named}
+    for group in iter_trace_batches(traces, batch_size):
+        batch = ContextBatch.from_traces(group)
+        for name, monitor in named.items():
+            alerts, _ = _observe_checked(monitor, name, batch)
+            out[name].extend(np.ascontiguousarray(alerts[:, b])
+                             for b in range(alerts.shape[1]))
+    return out
+
+
+def replay_monitor_batched(monitor: SafetyMonitor,
+                           traces: Iterable[SimulationTrace],
+                           batch_size: Optional[int] = None
+                           ) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Batched sibling of :func:`~repro.simulation.replay.replay_monitor`.
+
+    Returns one ``(alerts, hazards)`` pair per trace — boolean alert
+    flags and integer hazard-type codes (0 when silent) — element-wise
+    identical to replaying each trace through the scalar
+    ``replay_monitor`` loop.
+    """
+    from ..parallel import resolve_batch_size
+
+    batch_size = resolve_batch_size(batch_size)
+    results: List[Tuple[np.ndarray, np.ndarray]] = []
+    for group in iter_trace_batches(traces, batch_size):
+        batch = ContextBatch.from_traces(group)
+        alerts, hazards = _observe_checked(monitor, monitor.name, batch)
+        results.extend(
+            (np.ascontiguousarray(alerts[:, b]),
+             np.ascontiguousarray(hazards[:, b]))
+            for b in range(alerts.shape[1]))
+    return results

@@ -1,0 +1,299 @@
+"""Parity suite for batched (lock-step) monitor replay and titration.
+
+The contract under test is the one the vector simulation engine set:
+``batch_size`` (like ``workers``) is a wall-clock knob, never a semantics
+knob.  Batched replay must be element-wise identical to the scalar
+``replay_campaign`` loop for every monitor kind — the vectorized
+overrides (CAWT/CAWOT rules, DT, MLP, Guideline, MPC) and the column-loop
+fallback (LSTM, user-defined monitors) alike — across batch sizes and
+worker counts, and the batched fault-free titration must reproduce the
+scalar ``empirical_isf`` bit for bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GuidelineMonitor, MPCMonitor
+from repro.core import (cawot_monitor, cawt_monitor, learn_thresholds,
+                        mine_rule_samples)
+from repro.core.monitor import MonitorVerdict, NO_ALERT, SafetyMonitor
+from repro.hazards import HazardType
+from repro.ml import train_dt_monitor, train_lstm_monitor, train_mlp_monitor
+from repro.ml.datasets import trace_features
+from repro.simulation import (ContextBatch, PROFILE_CACHE, controller_profile,
+                              iter_contexts, iter_trace_batches,
+                              replay_campaign, replay_monitor,
+                              replay_monitor_batched, titrate_isf_batch,
+                              warm_profiles)
+from repro.simulation.batch import empirical_isf
+from repro.patients import make_patient, patient_ids
+
+BATCH_SIZES = (1, 7, 32)
+WORKER_COUNTS = (1, 2)
+
+
+class RisingStreakMonitor(SafetyMonitor):
+    """Stateful user-defined monitor that does NOT override observe_batch:
+    alerts after three consecutive rising-BG cycles.  Exercises the
+    base-class column-loop fallback."""
+
+    name = "rising-streak"
+
+    def __init__(self):
+        self._streak = 0
+
+    def reset(self) -> None:
+        self._streak = 0
+
+    def observe(self, ctx) -> MonitorVerdict:
+        self._streak = self._streak + 1 if ctx.bg_rate > 0.0 else 0
+        if self._streak >= 3:
+            return MonitorVerdict(alert=True, hazard=HazardType.H2,
+                                  triggered=("rising",))
+        return NO_ALERT
+
+
+@pytest.fixture(scope="module")
+def fast_monitors(tiny_campaign_traces):
+    """Every monitor kind with a vectorized observe_batch, plus CAWT."""
+    thresholds = learn_thresholds(tiny_campaign_traces).thresholds
+    return {
+        "CAWT": cawt_monitor(thresholds),
+        "CAWOT": cawot_monitor(),
+        "Guideline": GuidelineMonitor(),
+        "MPC": MPCMonitor(),
+        "DT": train_dt_monitor(tiny_campaign_traces),
+        "DTmc": train_dt_monitor(tiny_campaign_traces, multiclass=True),
+        "MLP": train_mlp_monitor(tiny_campaign_traces, max_epochs=3),
+    }
+
+
+@pytest.fixture(scope="module")
+def lstm_monitor(tiny_campaign_traces):
+    return train_lstm_monitor(tiny_campaign_traces, max_epochs=2)
+
+
+class TestBatchedReplayParity:
+    def test_all_monitor_kinds_all_batch_sizes_and_workers(
+            self, fast_monitors, tiny_campaign_traces):
+        serial = replay_campaign(fast_monitors, tiny_campaign_traces)
+        for batch_size in BATCH_SIZES:
+            for workers in WORKER_COUNTS:
+                batched = replay_campaign(fast_monitors, tiny_campaign_traces,
+                                          workers=workers,
+                                          batch_size=batch_size)
+                for name in fast_monitors:
+                    assert len(batched[name]) == len(tiny_campaign_traces)
+                    for a, b in zip(serial[name], batched[name]):
+                        assert np.array_equal(a, b), (name, batch_size,
+                                                      workers)
+
+    def test_lstm_fallback_parity(self, lstm_monitor, tiny_campaign_traces):
+        # the LSTM is stateful over sliding windows and uses the base
+        # class's column-loop fallback; a trace subset keeps this fast
+        traces = list(tiny_campaign_traces[:10])
+        serial = replay_campaign({"LSTM": lstm_monitor}, traces)["LSTM"]
+        for batch_size in BATCH_SIZES:
+            for workers in WORKER_COUNTS:
+                batched = replay_campaign({"LSTM": lstm_monitor}, traces,
+                                          workers=workers,
+                                          batch_size=batch_size)["LSTM"]
+                assert all(np.array_equal(a, b)
+                           for a, b in zip(serial, batched))
+
+    def test_hazard_codes_match_scalar_replay(self, fast_monitors,
+                                              tiny_campaign_traces):
+        traces = list(tiny_campaign_traces[:12])
+        for name, monitor in fast_monitors.items():
+            batched = replay_monitor_batched(monitor, traces, batch_size=7)
+            assert len(batched) == len(traces)
+            for trace, (alerts, hazards) in zip(traces, batched):
+                ref_alerts, ref_hazards = replay_monitor(monitor, trace)
+                assert np.array_equal(alerts, ref_alerts), name
+                assert np.array_equal(hazards, ref_hazards), name
+
+    def test_mixed_length_stream_batches(self, fast_monitors,
+                                         tiny_campaign_traces,
+                                         tiny_fault_free_traces):
+        # campaign (150 steps) and fault-free (60 steps) traces interleave
+        # into length-homogeneous groups without reordering the stream
+        mixed = (list(tiny_campaign_traces[:5]) + list(tiny_fault_free_traces)
+                 + list(tiny_campaign_traces[5:9]))
+        serial = replay_campaign(fast_monitors, mixed)
+        batched = replay_campaign(fast_monitors, mixed, batch_size=4)
+        for name in fast_monitors:
+            for a, b in zip(serial[name], batched[name]):
+                assert np.array_equal(a, b), name
+
+    def test_custom_monitor_fallback(self, tiny_campaign_traces):
+        monitor = RisingStreakMonitor()
+        serial = replay_campaign({"custom": monitor}, tiny_campaign_traces)
+        for batch_size in (7, 32):
+            batched = replay_campaign({"custom": monitor},
+                                      tiny_campaign_traces,
+                                      batch_size=batch_size)
+            assert all(np.array_equal(a, b) for a, b in
+                       zip(serial["custom"], batched["custom"]))
+
+    def test_generator_input_streams(self, fast_monitors,
+                                     tiny_campaign_traces):
+        serial = replay_campaign(fast_monitors, tiny_campaign_traces)
+        batched = replay_campaign(fast_monitors, iter(tiny_campaign_traces),
+                                  batch_size=16)
+        for name in fast_monitors:
+            assert all(np.array_equal(a, b) for a, b in
+                       zip(serial[name], batched[name]))
+
+    def test_env_batch_size(self, monkeypatch, tiny_campaign_traces):
+        monitor = cawot_monitor()
+        serial = replay_campaign({"m": monitor}, tiny_campaign_traces)
+        monkeypatch.setenv("REPRO_BATCH_SIZE", "16")
+        from_env = replay_campaign({"m": monitor}, tiny_campaign_traces)
+        assert all(np.array_equal(a, b)
+                   for a, b in zip(serial["m"], from_env["m"]))
+
+
+class TestEdgeCases:
+    def test_empty_trace_stream(self, fast_monitors):
+        out = replay_campaign(fast_monitors, [], batch_size=32)
+        assert out == {name: [] for name in fast_monitors}
+        assert replay_monitor_batched(cawot_monitor(), [], batch_size=8) == []
+
+    def test_single_column_batch(self, tiny_campaign_traces):
+        trace = tiny_campaign_traces[0]
+        batch = ContextBatch.from_traces([trace])
+        assert batch.shape == (len(trace), 1)
+        alerts, hazards = cawot_monitor().observe_batch(batch)
+        ref_alerts, ref_hazards = replay_monitor(cawot_monitor(), trace)
+        assert np.array_equal(alerts[:, 0], ref_alerts)
+        assert np.array_equal(hazards[:, 0], ref_hazards)
+
+    def test_context_batch_rejects_empty_and_ragged(self,
+                                                    tiny_campaign_traces,
+                                                    tiny_fault_free_traces):
+        with pytest.raises(ValueError, match="zero traces"):
+            ContextBatch.from_traces([])
+        with pytest.raises(ValueError, match="one length"):
+            ContextBatch.from_traces([tiny_campaign_traces[0],
+                                      tiny_fault_free_traces[0]])
+
+    def test_invalid_batch_size(self, tiny_campaign_traces):
+        with pytest.raises(ValueError, match="batch_size"):
+            replay_campaign({"m": cawot_monitor()}, tiny_campaign_traces,
+                            batch_size=0)
+        with pytest.raises(ValueError, match="batch_size"):
+            list(iter_trace_batches(tiny_campaign_traces, 0))
+
+    def test_misshapen_observe_batch_fails_loudly(self,
+                                                  tiny_campaign_traces):
+        class Broken(SafetyMonitor):
+            def observe(self, ctx):
+                return NO_ALERT
+
+            def observe_batch(self, batch):
+                return np.zeros((1, 1), dtype=bool), np.zeros((1, 1), int)
+
+        with pytest.raises(ValueError, match="verdict matrices"):
+            replay_campaign({"broken": Broken()}, tiny_campaign_traces,
+                            batch_size=8)
+
+    def test_iter_trace_batches_grouping(self, tiny_campaign_traces,
+                                         tiny_fault_free_traces):
+        mixed = (list(tiny_campaign_traces[:3]) + list(tiny_fault_free_traces)
+                 + list(tiny_campaign_traces[3:8]))
+        groups = list(iter_trace_batches(mixed, 2))
+        flat = [trace for group in groups for trace in group]
+        assert [id(t) for t in flat] == [id(t) for t in mixed]
+        for group in groups:
+            assert len(group) <= 2
+            assert len({len(t) for t in group}) == 1
+
+
+class TestContextBatch:
+    def test_columns_match_scalar_context_stream(self, tiny_campaign_traces):
+        traces = list(tiny_campaign_traces[:4])
+        batch = ContextBatch.from_traces(traces)
+        for b, trace in enumerate(traces):
+            for ctx_col, ctx_ref in zip(batch.iter_column(b),
+                                        iter_contexts(trace)):
+                assert ctx_col == ctx_ref
+            np.testing.assert_array_equal(batch.column_features(b),
+                                          trace_features(trace))
+
+    def test_channel_views(self, tiny_campaign_traces):
+        trace = tiny_campaign_traces[0]
+        batch = ContextBatch.from_traces([trace, trace])
+        np.testing.assert_array_equal(batch.bg[:, 0], trace.cgm)
+        np.testing.assert_array_equal(batch.iob[:, 1], trace.iob)
+        np.testing.assert_array_equal(batch.action[:, 0], trace.action)
+        np.testing.assert_array_equal(batch.t[:, 1], trace.t)
+        assert batch.dt.tolist() == [trace.dt, trace.dt]
+
+
+class TestBatchedMining:
+    def test_mined_samples_identical(self, tiny_campaign_traces,
+                                     tiny_fault_free_traces):
+        # mixed lengths exercise the group-boundary path
+        traces = list(tiny_campaign_traces) + list(tiny_fault_free_traces)
+        serial = mine_rule_samples(traces)
+        for batch_size in (7, 32):
+            batched = mine_rule_samples(traces, batch_size=batch_size)
+            for a, b in zip(serial, batched):
+                assert a.rule.index == b.rule.index
+                assert np.array_equal(a.values, b.values)
+                assert np.array_equal(a.safe_values, b.safe_values)
+
+    def test_thresholds_byte_identical_with_batch_and_workers(
+            self, tiny_campaign_traces, tiny_fault_free_traces):
+        traces = list(tiny_campaign_traces) + list(tiny_fault_free_traces)
+        serial = learn_thresholds(traces)
+        for batch_size in (7, 32):
+            for workers in WORKER_COUNTS:
+                batched = learn_thresholds(traces, batch_size=batch_size,
+                                           workers=workers)
+                assert batched.thresholds == serial.thresholds
+
+
+class TestBatchedTitration:
+    @pytest.mark.parametrize("platform", ["glucosym", "t1ds2013"])
+    def test_bit_identical_to_scalar_empirical_isf(self, platform):
+        ids = patient_ids(platform)
+        patients = [make_patient(platform, pid, target_glucose=120.0)
+                    for pid in ids]
+        batched = titrate_isf_batch(patients, 120.0)
+        scalar = np.array([
+            empirical_isf(make_patient(platform, pid, target_glucose=120.0),
+                          120.0)
+            for pid in ids])
+        np.testing.assert_array_equal(batched, scalar)
+
+    def test_empty_cohort(self):
+        assert titrate_isf_batch([], 120.0).shape == (0,)
+
+    def test_mixed_model_families_rejected(self):
+        patients = [make_patient("glucosym", "A"),
+                    make_patient("t1ds2013", "P01")]
+        with pytest.raises(ValueError, match="one patient model family"):
+            titrate_isf_batch(patients, 120.0)
+
+    def test_t1d_off_target_anchor_rejected(self):
+        patient = make_patient("t1ds2013", "P01", target_glucose=110.0)
+        with pytest.raises(ValueError, match="target_glucose"):
+            titrate_isf_batch([patient], 120.0)
+
+    def test_warm_profiles_matches_serial_titration(self):
+        PROFILE_CACHE.clear()
+        warmed = warm_profiles("glucosym", ["A", "B", "C"])
+        PROFILE_CACHE.clear()
+        for pid in ("A", "B", "C"):
+            patient = make_patient("glucosym", pid, target_glucose=120.0)
+            assert warmed[pid] == controller_profile(patient, 120.0), pid
+
+    def test_warm_profiles_seeds_cache(self):
+        PROFILE_CACHE.clear()
+        warm_profiles("glucosym", ["A", "B"])
+        assert ("glucosym/A", 120.0) in PROFILE_CACHE
+        assert ("glucosym/B", 120.0) in PROFILE_CACHE
+        # a second call is pure lookups and returns the same profiles
+        again = warm_profiles("glucosym", ["A", "B"])
+        assert set(again) == {"A", "B"}
