@@ -2,17 +2,19 @@
 
 Runs a small *fixed* benchmark configuration — the ``ci``-scale grids behind
 ``benchmarks/bench_parallel_campaign.py``, ``bench_vector_campaign.py``,
-``bench_vector_replay.py`` and ``benchmarks/bench_table6_ml.py`` — and
-writes ``BENCH_<sha>.json`` with per-benchmark wall time (plus the
-serial-vs-vector simulation and replay speedups) and the process peak RSS.
-The measurements are then compared against the committed
-``benchmarks/BENCH_baseline.json``: any benchmark more than ``TOLERANCE``
-(25%) slower than its baseline, or peak RSS more than 25% above it, fails
-the job.  The batched-replay entry additionally enforces an absolute
-floor: ``replay_vector`` must be at least ``REPLAY_SPEEDUP_FLOOR`` (3x)
-faster than the scalar replay, whatever the baseline says.  The JSON is
-uploaded as a CI artifact either way, so every commit leaves a
-performance record.
+``bench_vector_replay.py``, ``bench_vector_mitigation.py`` and
+``benchmarks/bench_table6_ml.py`` — and writes ``BENCH_<sha>.json`` with
+per-benchmark wall time (plus the serial-vs-vector simulation, replay and
+mitigation speedups) and the process peak RSS.  The measurements are then
+compared against the committed ``benchmarks/BENCH_baseline.json``: any
+benchmark more than ``TOLERANCE`` (25%) slower than its baseline, or peak
+RSS more than 25% above it, fails the job.  The batched replay and
+mitigation entries additionally enforce absolute floors:
+``replay_vector`` must be at least ``REPLAY_SPEEDUP_FLOOR`` (3x) faster
+than the scalar replay, and ``mitigation_vector`` at least
+``MITIGATION_SPEEDUP_FLOOR`` (3x) faster than the scalar mitigated loop,
+whatever the baseline says.  The JSON is uploaded as a CI artifact either
+way, so every commit leaves a performance record.
 
 The baseline is calibrated on the CI runner class; after an intentional
 performance change (or a runner upgrade), refresh it with::
@@ -32,7 +34,8 @@ import sys
 import time
 
 from repro.baselines import GuidelineMonitor, MPCMonitor
-from repro.core import cawot_monitor, cawt_monitor, learn_thresholds
+from repro.core import (FixedMitigator, cawot_monitor, cawt_monitor,
+                        learn_thresholds)
 from repro.experiments import ExperimentConfig
 from repro.experiments.data import platform_data
 from repro.experiments.table6 import run_table6
@@ -55,6 +58,10 @@ JITTER_SLACK_SECONDS = 0.25
 #: absolute floor for the batched-replay speedup (the path's acceptance
 #: bar, enforced independently of the committed baseline)
 REPLAY_SPEEDUP_FLOOR = 3.0
+
+#: absolute floor for the batched mitigated-campaign speedup (Table VII
+#: closed loop: monitor + mitigator in the lock-step engine)
+MITIGATION_SPEEDUP_FLOOR = 3.0
 
 
 def git_sha() -> str:
@@ -128,6 +135,24 @@ def run_benchmarks() -> dict:
     results["replay_vector"]["speedup_vs_serial"] = replay_speedup
     print(f"  serial/vector replay speedup: {replay_speedup}x", flush=True)
 
+    # mitigated closed loop (Table VII configuration): CAWOT monitor wired
+    # to the fixed Algorithm 1 strategy, scalar loop vs lock-step batches
+    mitigation_kwargs = dict(monitor_factory=lambda pid: cawot_monitor(),
+                             mitigator=FixedMitigator(),
+                             n_steps=config.n_steps)
+    timed("mitigation_serial",
+          lambda: run_campaign(config.platform, config.patients, scenarios,
+                               **mitigation_kwargs))
+    timed("mitigation_vector",
+          lambda: run_campaign(config.platform, config.patients, scenarios,
+                               batch_size=32, **mitigation_kwargs))
+    mitigation_speedup = round(
+        results["mitigation_serial"]["seconds"]
+        / max(results["mitigation_vector"]["seconds"], 1e-9), 2)
+    results["mitigation_vector"]["speedup_vs_serial"] = mitigation_speedup
+    print(f"  serial/vector mitigation speedup: {mitigation_speedup}x",
+          flush=True)
+
     # warm the shared experiment cache so the table6 number measures the
     # monitors (ML training jobs, threshold learning, replay) — the stage
     # this repo's training layer parallelises — not re-simulation
@@ -174,6 +199,13 @@ def check_against_baseline(results: dict, peak_mb: float,
             f"replay_vector speedup {speedup}x is below the "
             f"{REPLAY_SPEEDUP_FLOOR}x floor — the batched replay path "
             "has degenerated to (or below) scalar throughput")
+    mitigation = results.get("mitigation_vector", {})
+    speedup = mitigation.get("speedup_vs_serial")
+    if speedup is not None and speedup < MITIGATION_SPEEDUP_FLOOR:
+        regressions.append(
+            f"mitigation_vector speedup {speedup}x is below the "
+            f"{MITIGATION_SPEEDUP_FLOOR}x floor — the batched mitigated "
+            "closed loop has degenerated to (or below) scalar throughput")
     return regressions
 
 

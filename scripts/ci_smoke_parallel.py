@@ -13,11 +13,16 @@ write-once/replay-many store is covered by the same every-push smoke.
 The DT/MLP/LSTM :class:`TrainingJob` grid is trained serially and
 through the worker pool and the resulting monitors are compared parameter
 by parameter — the training-parity contract of ``repro.ml.training``.
-Finally every monitor kind (CAWT, CAWOT, Guideline, MPC and the trained
-DT/MLP/LSTM) is replayed over the campaign scalar and through the batched
-``observe_batch`` path at batch sizes {7, 32} x workers {1, 2}, asserting
-element-wise identical alert streams — the exact-parity contract of
-``repro.simulation.vector_replay``.
+Every monitor kind (CAWT, CAWOT, Guideline, MPC and the trained
+DT/MLP/LSTM) is then replayed over the campaign scalar and through the
+batched ``observe_batch`` path at batch sizes {7, 32} x workers {1, 2},
+asserting element-wise identical alert streams — the exact-parity
+contract of ``repro.simulation.vector_replay``.  Finally the *mitigated*
+closed loop (CAWOT monitor wired to the fixed Algorithm 1 strategy, the
+Table VII configuration) is swept across batch sizes {1, 8} x workers
+{1, 2} and every combination must reproduce the scalar mitigated run
+element-wise — the live lock-step monitor/mitigator path of
+``repro.simulation.vector``.
 
 Run:  python scripts/ci_smoke_parallel.py [workers]
 """
@@ -30,7 +35,8 @@ import time
 import numpy as np
 
 from repro.baselines import GuidelineMonitor, MPCMonitor
-from repro.core import cawot_monitor, cawt_monitor, learn_thresholds
+from repro.core import (FixedMitigator, cawot_monitor, cawt_monitor,
+                        learn_thresholds)
 from repro.experiments import ExperimentConfig
 from repro.experiments.data import ml_baseline_jobs
 from repro.fi import CampaignConfig, generate_campaign
@@ -198,6 +204,40 @@ def main() -> int:
           f"({', '.join(monitors)}) element-wise identical to scalar at "
           f"batch sizes 7/32 x workers 1/{workers} "
           f"(scalar {t_scalar:.2f}s, 4 batched sweeps {t_batched:.2f}s)")
+
+    # mitigated-batch parity: the live Table VII closed loop (monitor +
+    # mitigator inside the lock-step engine) across batch x worker combos
+    mitigation_kwargs = dict(monitor_factory=lambda pid: cawot_monitor(),
+                             mitigator=FixedMitigator(),
+                             n_steps=config.n_steps)
+    start = time.perf_counter()
+    mitigated_ref = run_campaign(config.platform, config.patients, scenarios,
+                                 **mitigation_kwargs)
+    t_mit_scalar = time.perf_counter() - start
+    n_fired = sum(bool(trace.mitigated.any()) for trace in mitigated_ref)
+    if n_fired == 0:
+        print("FAIL: mitigated reference campaign never fired the "
+              "mitigator — the parity sweep would be vacuous")
+        return 1
+    start = time.perf_counter()
+    for batch_size in (1, 8):
+        for mit_workers in (1, workers):
+            combo = run_campaign(config.platform, config.patients, scenarios,
+                                 workers=mit_workers, batch_size=batch_size,
+                                 **mitigation_kwargs)
+            bad = [i for i, (s, v) in enumerate(zip(mitigated_ref, combo))
+                   if not traces_identical(s, v)]
+            if len(combo) != n_expected or bad:
+                print(f"FAIL: mitigated campaign diverges from scalar at "
+                      f"batch_size={batch_size}, workers={mit_workers} "
+                      f"({len(bad)} trace(s), first at "
+                      f"{bad[0] if bad else '?'})")
+                return 1
+    t_mit_sweep = time.perf_counter() - start
+    print(f"OK: mitigated closed loop (CAWOT + FixedMitigator, "
+          f"{n_fired}/{n_expected} traces corrected) element-wise identical "
+          f"at batch sizes 1/8 x workers 1/{workers} "
+          f"(scalar {t_mit_scalar:.2f}s, 4 sweeps {t_mit_sweep:.2f}s)")
     return 0
 
 

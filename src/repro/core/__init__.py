@@ -16,7 +16,8 @@ from .learning import (
     telex_loss,
     tmee_loss,
 )
-from .mitigation import FixedMitigator, Mitigator, ProportionalMitigator
+from .mitigation import (FixedMitigator, Mitigator, PredictiveMitigator,
+                         ProportionalMitigator)
 from .monitor import (
     NO_ALERT,
     ContextAwareMonitor,
@@ -52,6 +53,7 @@ __all__ = [
     "tmee_loss",
     "FixedMitigator",
     "Mitigator",
+    "PredictiveMitigator",
     "ProportionalMitigator",
     "NO_ALERT",
     "ContextAwareMonitor",

@@ -11,20 +11,35 @@ should choose the dose, but its experiments use a *fixed maximum insulin
 value* so context-aware and non-context-aware monitors can be compared
 fairly; :class:`FixedMitigator` implements that, and
 :class:`ProportionalMitigator` implements a context-dependent ``f`` as the
-documented extension.
+documented extension.  :class:`PredictiveMitigator` is a second strategy
+family in the KnowSafe style (see PAPERS.md): a short-horizon glucose
+prediction feeds the corrective dose, and a knowledge rule (predicted
+glucose below a suspend threshold) can veto insulin even on a predicted H2.
+
+Mitigators additionally expose a *columnar* evaluation path
+(:meth:`Mitigator.correct_mask`) used by the lock-step simulation engine
+(:mod:`repro.simulation.vector`): all alerted rows of a live tick are
+corrected in one vectorized call.  The base class returns ``None`` —
+"no columnar form" — which makes the engine fall back to a per-row scalar
+loop over cloned mitigators, so custom (including stateful) strategies stay
+correct with zero work.  See ``docs/mitigation.md`` for the exact-parity
+contract an override must honour.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
+
+import numpy as np
 
 from ..hazards import HazardType
 from .context import ContextVector
 from .monitor import MonitorVerdict
 
-__all__ = ["Mitigator", "FixedMitigator", "ProportionalMitigator"]
+__all__ = ["Mitigator", "FixedMitigator", "ProportionalMitigator",
+           "PredictiveMitigator"]
 
 
 class Mitigator(abc.ABC):
@@ -40,7 +55,44 @@ class Mitigator(abc.ABC):
         Campaigns reuse one mitigator across every scenario of a patient;
         the closed loop calls this at the start of each run so a stateful
         strategy can never leak decisions from one scenario into the next.
+        The lock-step engine relies on the same contract: a batched run's
+        per-row mitigator clones are ``reset`` before their run, so a
+        ``reset`` that fully clears state makes batching invisible.
         """
+
+    def correct_mask(self, alerts: np.ndarray, hazards: np.ndarray,
+                     tick) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Columnar :meth:`correct` over one live control cycle.
+
+        Parameters
+        ----------
+        alerts:
+            ``(B,)`` boolean alert flags for the tick.
+        hazards:
+            ``(B,)`` integer hazard-type codes (0 when silent).
+        tick:
+            A ``(1, B)`` :class:`~repro.simulation.features.ContextBatch`
+            holding the cycle's context — ``tick.rate[0]``/
+            ``tick.bolus[0]`` are the commanded values that must pass
+            through unchanged on non-alert rows.
+
+        Returns
+        -------
+        ``(rate, bolus)`` full-width ``(B,)`` corrected command vectors,
+        or ``None`` (the default) when the strategy has no columnar form —
+        the engine then falls back to a per-row scalar loop: one
+        ``deepcopy`` of this mitigator per batch row, each ``reset`` at
+        run start and driven through :meth:`correct` for its own alerts,
+        which *is* the scalar definition.
+
+        **Contract**: an override must be stateless (a pure function of
+        the tick) and must transcribe the scalar :meth:`correct`
+        arithmetic with identical operation order, selecting branches via
+        ``np.where`` — so batched and scalar mitigation are element-wise
+        identical for any batch composition.  Stateful strategies must
+        keep the ``None`` default.
+        """
+        return None
 
 
 @dataclass
@@ -65,6 +117,14 @@ class FixedMitigator(Mitigator):
         if verdict.hazard == HazardType.H1:
             return 0.0, 0.0
         return self.max_rate, 0.0
+
+    def correct_mask(self, alerts: np.ndarray, hazards: np.ndarray,
+                     tick) -> Tuple[np.ndarray, np.ndarray]:
+        h1 = hazards == int(HazardType.H1)
+        rate = np.where(alerts, np.where(h1, 0.0, self.max_rate),
+                        tick.rate[0])
+        bolus = np.where(alerts, 0.0, tick.bolus[0])
+        return rate, bolus
 
 
 @dataclass
@@ -93,3 +153,80 @@ class ProportionalMitigator(Mitigator):
         needed_units = max((ctx.bg - self.bg_target) / self.isf - ctx.iob, 0.0)
         rate = min(needed_units / self.horizon_h, self.max_rate)
         return rate, 0.0
+
+    def correct_mask(self, alerts: np.ndarray, hazards: np.ndarray,
+                     tick) -> Tuple[np.ndarray, np.ndarray]:
+        # the scalar correct, transcribed: same expressions in the same
+        # order, branch selection via np.where (elementwise maximum /
+        # minimum round identically at any batch width)
+        needed_units = np.maximum(
+            (tick.bg[0] - self.bg_target) / self.isf - tick.iob[0], 0.0)
+        corrective = np.minimum(needed_units / self.horizon_h, self.max_rate)
+        h1 = hazards == int(HazardType.H1)
+        rate = np.where(alerts, np.where(h1, 0.0, corrective), tick.rate[0])
+        bolus = np.where(alerts, 0.0, tick.bolus[0])
+        return rate, bolus
+
+
+@dataclass
+class PredictiveMitigator(Mitigator):
+    """Rule + prediction mitigation in the KnowSafe style (second family).
+
+    KnowSafe (PAPERS.md) combines domain knowledge rules with data-driven
+    prediction to pick the corrective action.  This strategy does the
+    lightweight analogue on the monitor's own context: a linear
+    short-horizon glucose forecast ``bg + bg' * horizon_min`` chooses the
+    H2 dose, and a knowledge rule vetoes *any* insulin — even on a
+    predicted H2 — when the forecast falls below ``suspend_bg`` (dosing
+    into a predicted drop risks rebound hypoglycemia).  H1 alerts suspend
+    insulin exactly like Algorithm 1.
+
+    Attributes
+    ----------
+    isf:
+        Insulin sensitivity (mg/dL per U) used to size the correction.
+    bg_target:
+        Glucose target the forecast excess is measured against.
+    horizon_min:
+        Forecast horizon in minutes; the H2 dose is spread over it.
+    max_rate:
+        Cap on the corrective insulin rate (U/h).
+    suspend_bg:
+        Forecast threshold (mg/dL) below which the knowledge rule
+        commands zero insulin regardless of the predicted hazard.
+    """
+
+    isf: float = 50.0
+    bg_target: float = 120.0
+    horizon_min: float = 30.0
+    max_rate: float = 5.0
+    suspend_bg: float = 90.0
+
+    def __post_init__(self):
+        if self.isf <= 0 or self.max_rate <= 0 or self.horizon_min <= 0:
+            raise ValueError("isf, max_rate and horizon_min must be positive")
+
+    def correct(self, verdict: MonitorVerdict, ctx: ContextVector) -> Tuple[float, float]:
+        if not verdict.alert:
+            return ctx.rate, ctx.bolus
+        predicted = ctx.bg + ctx.bg_rate * self.horizon_min
+        if verdict.hazard == HazardType.H1 or predicted < self.suspend_bg:
+            return 0.0, 0.0
+        needed_units = max((predicted - self.bg_target) / self.isf - ctx.iob,
+                           0.0)
+        rate = min(needed_units * (60.0 / self.horizon_min), self.max_rate)
+        return rate, 0.0
+
+    def correct_mask(self, alerts: np.ndarray, hazards: np.ndarray,
+                     tick) -> Tuple[np.ndarray, np.ndarray]:
+        predicted = tick.bg[0] + tick.bg_rate[0] * self.horizon_min
+        needed_units = np.maximum(
+            (predicted - self.bg_target) / self.isf - tick.iob[0], 0.0)
+        corrective = np.minimum(needed_units * (60.0 / self.horizon_min),
+                                self.max_rate)
+        suspend = (hazards == int(HazardType.H1)) \
+            | (predicted < self.suspend_bg)
+        rate = np.where(alerts, np.where(suspend, 0.0, corrective),
+                        tick.rate[0])
+        bolus = np.where(alerts, 0.0, tick.bolus[0])
+        return rate, bolus

@@ -13,12 +13,14 @@ thresholds learned from data (:mod:`repro.core.learning`) it is the paper's
 
 Monitors additionally expose a *batched* evaluation path
 (:meth:`SafetyMonitor.observe_batch`) used by offline replay
-(:mod:`repro.simulation.vector_replay`): a whole stack of recorded context
-streams is evaluated column-wise in lock step, with verdicts element-wise
-identical to calling :meth:`~SafetyMonitor.observe` cycle by cycle.  The
-base class provides a column-loop fallback so every custom monitor keeps
-working unchanged; monitors whose arithmetic vectorizes exactly override
-it.
+(:mod:`repro.simulation.vector_replay`) and — for monitors that declare
+themselves :attr:`~SafetyMonitor.stateless` — by the live lock-step
+simulation engine (:mod:`repro.simulation.vector`), one single-cycle
+batch per tick: a whole stack of context streams is evaluated column-wise
+in lock step, with verdicts element-wise identical to calling
+:meth:`~SafetyMonitor.observe` cycle by cycle.  The base class provides a
+column-loop fallback so every custom monitor keeps working unchanged;
+monitors whose arithmetic vectorizes exactly override it.
 """
 
 from __future__ import annotations
@@ -68,6 +70,17 @@ class SafetyMonitor(abc.ABC):
     """Base class of all safety monitors (context-aware, baselines, ML)."""
 
     name: str = "monitor"
+
+    #: True when :meth:`observe` is a pure function of its context — no
+    #: cross-cycle state, so ``observe_batch`` on a single-cycle ``(1, B)``
+    #: batch equals ``B`` independent scalar calls.  The lock-step
+    #: simulation engine (:mod:`repro.simulation.vector`) uses this to
+    #: evaluate the monitor column-wise each live tick; stateful monitors
+    #: (Guideline, MPC, LSTM, anything with a meaningful :meth:`reset`)
+    #: must leave it False and are driven through per-row scalar clones
+    #: instead.  Subclasses of a stateless monitor that *add* state must
+    #: set it back to False.
+    stateless: bool = False
 
     @abc.abstractmethod
     def observe(self, ctx: ContextVector) -> MonitorVerdict:
@@ -135,6 +148,9 @@ class ContextAwareMonitor(SafetyMonitor):
     rules:
         Rule subset to monitor (defaults to all 12).
     """
+
+    #: pure rule comparisons per cycle — no cross-cycle state
+    stateless = True
 
     def __init__(self, thresholds: Optional[Dict[str, float]] = None,
                  bg_target: float = BG_TARGET,

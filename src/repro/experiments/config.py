@@ -53,8 +53,9 @@ class ExperimentConfig:
         this is excluded from :meth:`cache_key`.
     batch_size:
         Lock-step vectorization width; 1 = the scalar loops.  Batches
-        unmonitored campaign and fault-free simulation
-        (:mod:`repro.simulation.vector`), offline monitor replay for
+        campaign and fault-free simulation — including the monitored and
+        mitigated Table VII closed loop
+        (:mod:`repro.simulation.vector`) — offline monitor replay for
         Tables V/VI and Fig. 9 (:mod:`repro.simulation.vector_replay`)
         and the rule-context mining behind CAWT threshold learning
         (:func:`~repro.core.learning.mine_rule_samples`).  Every batched

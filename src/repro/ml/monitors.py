@@ -47,6 +47,10 @@ def _infer_hazard(prediction: int, bg: float, bg_target: float,
 class _PointMonitor(SafetyMonitor):
     """Monitor over single-cycle features (DT and MLP)."""
 
+    #: single-cycle classifiers carry no cross-cycle state, so the live
+    #: lock-step engine may evaluate them per tick via observe_batch
+    stateless = True
+
     def __init__(self, model, name: str, multiclass: bool = False,
                  bg_target: float = 120.0):
         self.model = model

@@ -114,11 +114,13 @@ def run_campaign(platform: str, patient_ids: Sequence[str],
         for every worker count.
     batch_size:
         Lock-step vectorization width (default 1, also via
-        ``REPRO_BATCH_SIZE``): unmonitored runs are simulated
-        ``batch_size`` at a time by :mod:`repro.simulation.vector` with
-        element-wise identical traces.  Monitored/mitigated campaigns
-        fall back to the scalar loop.  Composes with *workers* — each
-        pool chunk becomes a sequence of vectorized batches.
+        ``REPRO_BATCH_SIZE``): runs are simulated ``batch_size`` at a
+        time by :mod:`repro.simulation.vector` with element-wise
+        identical traces.  Monitored and mitigated campaigns batch too —
+        monitors evaluate column-wise each tick and mitigators correct
+        the alerted rows in place (see ``docs/mitigation.md``).  Composes
+        with *workers* — each pool chunk becomes a sequence of vectorized
+        batches.
     executor:
         Explicit :class:`~repro.simulation.executor.CampaignExecutor`
         (overrides *workers* and *batch_size*).
@@ -151,8 +153,7 @@ def run_fault_free(platform: str, patient_ids: Sequence[str],
 
     Unmonitored baselines are served from (and written back to) *cache* —
     keyed by platform/patient/initial BG/step count — so repeated
-    experiments never resimulate the same reference runs (and, being
-    unmonitored, they vectorize fully under ``batch_size > 1``).  Pass
+    experiments never resimulate the same reference runs.  Pass
     ``cache=None`` to force fresh simulation; runs with a monitor are
     never cached because the monitor's alerts are part of the trace.
 

@@ -353,17 +353,19 @@ def _run_chunk(plan: CampaignPlan, runs: Sequence[SimRun],
     This is the *only* place simulations happen — serial executor, parallel
     workers and cache-warming all call it, which is what guarantees that
     worker count cannot change the simulated dynamics.  With
-    ``batch_size > 1`` and no monitor/mitigator the slice runs through the
-    lock-step vectorized engine (:mod:`repro.simulation.vector`), whose
-    traces are element-wise identical to the scalar loop below; monitored
-    or mitigated runs always take the scalar path (alerts feed back into
-    the loop, so rows would diverge).
+    ``batch_size > 1`` the slice runs through the lock-step vectorized
+    engine (:mod:`repro.simulation.vector`) — monitored and mitigated runs
+    included, with per-tick column-wise monitor evaluation and row-wise
+    command correction — whose traces are element-wise identical to the
+    scalar loop below (see ``docs/mitigation.md`` for the contract).
     """
     from .batch import make_loop  # deferred: batch imports this module too
 
-    if batch_size > 1 and monitor_factory is None and mitigator is None:
+    if batch_size > 1:
         from .vector import run_vector_chunk
-        return run_vector_chunk(plan, runs, batch_size)
+        return run_vector_chunk(plan, runs, batch_size,
+                                monitor_factory=monitor_factory,
+                                mitigator=mitigator)
 
     traces: List[SimulationTrace] = []
     loop = None
@@ -426,8 +428,9 @@ class SerialExecutor(CampaignExecutor):
     The whole plan is one chunk, so — exactly like the historical serial
     loop — the monitor factory is invoked once per patient and one
     :class:`~repro.simulation.loop.ClosedLoop` is reused across a patient's
-    scenarios.  ``batch_size > 1`` runs unmonitored plans through the
-    vectorized engine in batches of that many rows (identical traces).
+    scenarios.  ``batch_size > 1`` runs the plan — monitored and mitigated
+    plans included — through the vectorized engine in batches of that many
+    rows (identical traces).
     """
 
     def __init__(self, batch_size: int = 1):
@@ -456,9 +459,10 @@ class ParallelExecutor(CampaignExecutor):
         unpicklable monitor factories; on platforms without fork the
         executor degrades to in-process serial execution with a warning.
     batch_size:
-        With ``batch_size > 1`` each worker runs its chunk's unmonitored
-        runs through the vectorized engine in lock-step batches of that
-        many rows, so the pool speedup and the SIMD speedup multiply.
+        With ``batch_size > 1`` each worker runs its chunk — monitored
+        and mitigated runs included — through the vectorized engine in
+        lock-step batches of that many rows, so the pool speedup and the
+        SIMD speedup multiply.
 
     Chunk results are collected strictly in submission order from a
     bounded window of in-flight tasks, so the trace stream is element-wise

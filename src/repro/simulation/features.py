@@ -112,6 +112,43 @@ class ContextBatch:
             action=np.stack([trace.action for trace in traces], axis=1),
             dt=np.array([float(trace.dt) for trace in traces]))
 
+    @classmethod
+    def from_tick(cls, t: float, bg: np.ndarray, bg_rate: np.ndarray,
+                  iob: np.ndarray, iob_rate: np.ndarray, rate: np.ndarray,
+                  bolus: np.ndarray, action: np.ndarray,
+                  dt: float) -> "ContextBatch":
+        """One live control cycle as a ``(1, B)`` batch.
+
+        The lock-step simulation engine (:mod:`repro.simulation.vector`)
+        builds its per-tick monitor/mitigator input through this
+        constructor, so the live batched loop, offline replay and ML
+        training all share one feature layout (:data:`FEATURE_NAMES`).
+        The channel vectors are stacked as-is — they are the exact floats
+        the scalar closed loop would place in each row's
+        :class:`~repro.core.context.ContextVector`, and
+        :meth:`iter_column` recovers those vectors bit for bit.
+        """
+        action = np.asarray(action)
+        rows = [np.asarray(bg, dtype=float), np.asarray(bg_rate, dtype=float),
+                np.asarray(iob, dtype=float), np.asarray(iob_rate, dtype=float),
+                np.asarray(rate, dtype=float), np.asarray(bolus, dtype=float)]
+        for act in ControlAction:
+            rows.append((action == int(act)).astype(float))
+        n_cols = len(action)
+        return cls(t=np.full((1, n_cols), float(t)),
+                   features=np.stack(rows, axis=0)[np.newaxis, :, :],
+                   action=action.reshape(1, n_cols),
+                   dt=np.full(n_cols, float(dt)))
+
+    def take_columns(self, columns: np.ndarray) -> "ContextBatch":
+        """A new batch holding the given column subset, in the given
+        order — used by the live engine to route each monitor group its
+        own rows."""
+        return ContextBatch(t=self.t[:, columns],
+                            features=self.features[:, :, columns],
+                            action=self.action[:, columns],
+                            dt=self.dt[columns])
+
     @property
     def shape(self) -> Tuple[int, int]:
         """``(n_steps, B)``."""

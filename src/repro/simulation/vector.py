@@ -23,20 +23,34 @@ each scenario through the scalar loop.  Three design rules deliver that:
   arithmetic with the identical operation order, selecting branches with
   ``np.where`` (elementwise ufuncs round identically at any batch width).
 
-Runs with a monitor or mitigator do not batch (alerts feed back into the
-loop and rows would diverge); the executors fall back to the scalar path
-for those, which is exactly the paper's monitored-run semantics.
+Monitored and mitigated runs (the paper's Table VII closed loop,
+Algorithm 1) batch too: each tick the engine assembles the live cycle as a
+single-cycle ``(1, B)`` context batch, evaluates monitors column-wise —
+stateless ones through one ``observe_batch`` call per tick, stateful or
+custom ones through per-row scalar clones — and lets the mitigator rewrite
+the commanded ``(rate, bolus)`` vectors on the alerted rows through its
+columnar :meth:`~repro.core.mitigation.Mitigator.correct_mask` path (with
+a per-row scalar fallback for custom strategies).  Alerts feed back into
+the delivered insulin exactly as in the scalar loop, because the
+correction lands *before* the pump/plant stage of the same tick; the
+divergence this creates between rows is ordinary per-row data, just like
+the fault-mask HOLD registers.  See ``docs/mitigation.md`` for the full
+parity contract.
 """
 
 from __future__ import annotations
 
+import copy
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..controllers.base import ACTION_TOLERANCE
 from ..controllers.iob import InsulinActivityCurve
+from ..core.mitigation import Mitigator
+from ..core.monitor import MonitorVerdict, SafetyMonitor
 from ..fi.faults import FaultKind, FaultTarget, VARIABLE_RANGES
+from ..hazards import HazardType
 from ..patients import IVPPatient, Meal, make_patient
 from ..patients.base import UU_PER_UNIT
 from ..patients.ivp import meal_ra
@@ -46,7 +60,8 @@ from ..patients.kernels import (IVPColumns, T1DColumns, ivp_init_state,
 from ..patients.kernels import GP as _GP, GS as _GS, QSTO1 as _QSTO1
 from ..patients.pump import InsulinPump
 from ..patients.sensor import CGM_RANGE
-from .executor import PROFILE_CACHE, SimRun
+from .executor import MonitorFactory, PROFILE_CACHE, SimRun
+from .features import ContextBatch
 from .trace import TRACE_ARRAY_FIELDS, TRACE_COLUMN_DTYPES, SimulationTrace
 
 __all__ = ["run_batch", "run_vector_chunk", "titrate_isf_batch",
@@ -313,6 +328,132 @@ def _classify(rate: np.ndarray, bolus: np.ndarray,
 
 
 # ----------------------------------------------------------------------
+# per-tick monitor / mitigator evaluation
+# ----------------------------------------------------------------------
+
+class _MonitorBatch:
+    """Column-wise monitor evaluation, one live control cycle at a time.
+
+    Mirrors the scalar chunk runner's monitor lifecycle: the factory is
+    invoked once per distinct patient in the batch (the factory contract —
+    already required by the parallel executor, whose workers re-invoke it
+    per chunk — is that repeated calls return equivalent monitors).  Rows
+    whose monitor declares itself
+    :attr:`~repro.core.monitor.SafetyMonitor.stateless` are grouped by
+    monitor instance and evaluated in one single-cycle ``observe_batch``
+    call per tick — exact, because a stateless verdict is a pure function
+    of the context and the vectorized overrides are bit-identical to
+    ``observe`` per the batching contract.  Every other row (Guideline,
+    MPC, LSTM, custom monitors) drives its own ``reset`` deep copy through
+    the scalar ``observe`` — which *is* the scalar definition, so state
+    never leaks across rows and parity holds for any monitor.
+    """
+
+    def __init__(self, runs: Sequence[SimRun],
+                 monitor_factory: MonitorFactory):
+        per_patient: Dict[str, SafetyMonitor] = {}
+        for run in runs:
+            if run.patient_id not in per_patient:
+                per_patient[run.patient_id] = monitor_factory(run.patient_id)
+        grouped: Dict[int, Tuple[SafetyMonitor, List[int]]] = {}
+        self.columns: List[Tuple[int, SafetyMonitor]] = []
+        for b, run in enumerate(runs):
+            monitor = per_patient[run.patient_id]
+            if monitor.stateless:
+                grouped.setdefault(id(monitor), (monitor, []))[1].append(b)
+            else:
+                clone = copy.deepcopy(monitor)
+                clone.reset()  # the scalar loop's run-start reset
+                self.columns.append((b, clone))
+        self.groups: List[Tuple[SafetyMonitor, np.ndarray]] = []
+        for monitor, rows in grouped.values():
+            monitor.reset()
+            self.groups.append((monitor, np.asarray(rows, dtype=np.intp)))
+
+    def observe(self, tick: ContextBatch
+                ) -> Tuple[np.ndarray, np.ndarray, Dict[int, MonitorVerdict]]:
+        """Evaluate one cycle; returns ``(alerts, hazards, verdicts)`` —
+        ``(B,)`` flags/hazard codes plus the real ``MonitorVerdict`` of
+        every alerted scalar-path row (vectorized rows do not materialise
+        per-rule ``triggered`` names)."""
+        n_rows = tick.shape[1]
+        alerts = np.zeros(n_rows, dtype=bool)
+        hazards = np.zeros(n_rows, dtype=np.int_)
+        verdicts: Dict[int, MonitorVerdict] = {}
+        for monitor, rows in self.groups:
+            sub = tick if len(rows) == n_rows else tick.take_columns(rows)
+            group_alerts, group_hazards = monitor.observe_batch(sub)
+            alerts[rows] = group_alerts[0]
+            hazards[rows] = group_hazards[0]
+        for b, monitor in self.columns:
+            verdict = monitor.observe(next(tick.iter_column(b)))
+            if verdict.alert:
+                alerts[b] = True
+                hazards[b] = int(verdict.hazard)
+                verdicts[b] = verdict
+        return alerts, hazards, verdicts
+
+
+class _MitigatorBatch:
+    """Row-wise command correction (Algorithm 1) for one live cycle.
+
+    Strategies that override
+    :meth:`~repro.core.mitigation.Mitigator.correct_mask` (the built-in
+    families) correct all alerted rows in one vectorized call.  Everything
+    else gets the column-loop fallback: one ``reset`` deep copy of the
+    mitigator per batch row — the scalar campaign's
+    reset-per-run semantics, since a fully-resetting mitigator is
+    indistinguishable from a fresh one — each driven through the scalar
+    ``correct`` for its own row's alerts only.
+    """
+
+    def __init__(self, mitigator: Mitigator, n_rows: int):
+        self.columnar = (type(mitigator).correct_mask
+                         is not Mitigator.correct_mask)
+        if self.columnar:
+            mitigator.reset()
+            self.mitigator: Optional[Mitigator] = mitigator
+            self.rows: Optional[List[Mitigator]] = None
+        else:
+            self.mitigator = None
+            self.rows = []
+            for _ in range(n_rows):
+                clone = copy.deepcopy(mitigator)
+                clone.reset()  # the scalar loop's run-start reset
+                self.rows.append(clone)
+
+    def correct(self, alerts: np.ndarray, hazards: np.ndarray,
+                verdicts: Dict[int, MonitorVerdict], tick: ContextBatch,
+                cmd_rate: np.ndarray, cmd_bolus: np.ndarray
+                ) -> Tuple[np.ndarray, np.ndarray]:
+        if self.columnar:
+            corrected = self.mitigator.correct_mask(alerts, hazards, tick)
+            if corrected is None:
+                raise ValueError(
+                    f"{type(self.mitigator).__name__}.correct_mask returned "
+                    "None; a columnar override must return the corrected "
+                    "(rate, bolus) vectors")
+            rate, bolus = corrected
+            return (np.asarray(rate, dtype=float),
+                    np.asarray(bolus, dtype=float))
+        rate = cmd_rate.copy()
+        bolus = cmd_bolus.copy()
+        for b in np.flatnonzero(alerts):
+            b = int(b)
+            verdict = verdicts.get(b)
+            if verdict is None:
+                # vectorized-monitor rows: rebuild the verdict from the
+                # codes (per-rule `triggered` names are not materialised
+                # on the columnar path — custom mitigators must not
+                # depend on them under batching)
+                verdict = MonitorVerdict(alert=True,
+                                         hazard=HazardType(int(hazards[b])))
+            ctx = next(tick.iter_column(b))
+            rate[b], bolus[b] = self.rows[b].correct(verdict, ctx)
+        return rate, bolus
+
+
+# ----------------------------------------------------------------------
 # batched patient plants
 # ----------------------------------------------------------------------
 
@@ -535,14 +676,22 @@ def _precompute_t1d_ingestion(meals: Sequence[Sequence[Meal]],
 
 def run_batch(platform: str, runs: Sequence[SimRun], n_steps: int,
               dt: float = 5.0, target: float = 120.0,
-              meals: Optional[Sequence[Sequence[Meal]]] = None
+              meals: Optional[Sequence[Sequence[Meal]]] = None,
+              monitor_factory: Optional[MonitorFactory] = None,
+              mitigator: Optional[Mitigator] = None
               ) -> List[SimulationTrace]:
     """Simulate every run in *runs* simultaneously, in lock step.
 
     Returns one :class:`SimulationTrace` per run, in run order, element-wise
     identical to driving each scenario through the scalar
-    :class:`~repro.simulation.loop.ClosedLoop` (unmonitored, ideal sensor,
-    standard pump — the campaign configuration).
+    :class:`~repro.simulation.loop.ClosedLoop` (ideal sensor, standard
+    pump — the campaign configuration).  With a *monitor_factory* the
+    engine evaluates each patient's monitor column-wise every tick and
+    records the alert channels; with a *mitigator* too, alerted rows carry
+    a corrected per-row ``(rate, bolus)`` command into the pump/plant
+    stage of the same tick (Algorithm 1), exactly like the scalar loop.
+    A mitigator without a monitor never fires — the scalar loop's
+    ``NO_ALERT`` semantics.
     """
     from .batch import _PLATFORM_CONTROLLERS, make_controller
 
@@ -605,6 +754,12 @@ def run_batch(platform: str, runs: Sequence[SimRun], n_steps: int,
     need_activity = controller_kind == "openaps"
     faults = _FaultBatch(runs)
     pump = InsulinPump()
+    monitors = (_MonitorBatch(runs, monitor_factory)
+                if monitor_factory is not None else None)
+    # a mitigator only ever acts on a monitor verdict (Algorithm 1); with
+    # no monitor the scalar loop keeps NO_ALERT and never corrects
+    mitigators = (_MitigatorBatch(mitigator, B)
+                  if mitigator is not None and monitors is not None else None)
 
     init_glucose = np.array([float(r.init_glucose) for r in runs])
     state = plant.reset(init_glucose, target)
@@ -624,6 +779,7 @@ def run_batch(platform: str, runs: Sequence[SimRun], n_steps: int,
                for name in TRACE_ARRAY_FIELDS if name != "t"}
     units = np.zeros((n_steps, B))  # per-cycle net deliveries (U), time-major
     prev_iob = np.zeros(B)
+    prev_cgm: Optional[np.ndarray] = None
 
     for step in range(n_steps):
         t = step * dt
@@ -655,8 +811,22 @@ def run_batch(platform: str, runs: Sequence[SimRun], n_steps: int,
         action = _classify(cmd_rate, cmd_bolus, basal)
         iob_rate = np.zeros(B) if step == 0 else (iob - prev_iob) / dt
 
-        # no monitor/mitigation on the vector path: final == commanded
+        # monitor context: fault-free sensor view + post-fault command,
+        # assembled as a single-cycle context batch; mitigation rewrites
+        # the alerted rows before the pump stage (Algorithm 1)
         final_rate, final_bolus = cmd_rate, cmd_bolus
+        alerts = hazards = mitigated = None
+        if monitors is not None:
+            bg_rate = (np.zeros(B) if prev_cgm is None
+                       else (cgm - prev_cgm) / dt)
+            tick = ContextBatch.from_tick(t, cgm, bg_rate, iob, iob_rate,
+                                          cmd_rate, cmd_bolus, action, dt)
+            alerts, hazards, verdicts = monitors.observe(tick)
+            if mitigators is not None and alerts.any():
+                final_rate, final_bolus = mitigators.correct(
+                    alerts, hazards, verdicts, tick, cmd_rate, cmd_bolus)
+                mitigated = alerts & ((final_rate != cmd_rate)
+                                      | (final_bolus != cmd_bolus))
         clamped = np.minimum(np.maximum(final_rate, 0.0), pump.max_basal)
         delivered_rate = np.floor(clamped / pump.increment + 1e-9) \
             * pump.increment
@@ -678,7 +848,12 @@ def run_batch(platform: str, runs: Sequence[SimRun], n_steps: int,
         columns["final_bolus"][step] = final_bolus
         columns["delivered_rate"][step] = delivered_rate
         columns["delivered_bolus"][step] = delivered_bolus
-        # alert / alert_hazard / mitigated stay all-zero
+        # alert / alert_hazard / mitigated stay all-zero when unmonitored
+        if alerts is not None:
+            columns["alert"][step] = alerts
+            columns["alert_hazard"][step] = hazards
+        if mitigated is not None:
+            columns["mitigated"][step] = mitigated
 
         # advance the plant: n_sub RK4 substeps, bolus infused over the
         # first, meals ingested at the substeps whose window contains them
@@ -699,6 +874,7 @@ def run_batch(platform: str, runs: Sequence[SimRun], n_steps: int,
                           ra_timeline[sub, 2])
             state = plant.advance(state, dt_sub, infusion, stages)
         prev_iob = iob
+        prev_cgm = cgm
 
     t_column = np.arange(n_steps, dtype=np.float64) * dt
     traces = []
@@ -712,17 +888,22 @@ def run_batch(platform: str, runs: Sequence[SimRun], n_steps: int,
     return traces
 
 
-def run_vector_chunk(plan, runs: Sequence[SimRun],
-                     batch_size: int) -> List[SimulationTrace]:
+def run_vector_chunk(plan, runs: Sequence[SimRun], batch_size: int,
+                     monitor_factory: Optional[MonitorFactory] = None,
+                     mitigator: Optional[Mitigator] = None
+                     ) -> List[SimulationTrace]:
     """Execute a contiguous plan slice as consecutive lock-step batches.
 
     The last batch is ragged when ``batch_size`` does not divide the slice;
-    batch boundaries cannot affect the traces (each row is independent), so
-    any ``batch_size`` yields the identical stream.
+    batch boundaries cannot affect the traces (each row is independent —
+    monitor state lives per column and mitigators reset per run), so any
+    ``batch_size`` yields the identical stream.
     """
     traces: List[SimulationTrace] = []
     for lo in range(0, len(runs), batch_size):
         traces.extend(run_batch(plan.platform, runs[lo:lo + batch_size],
                                 plan.n_steps, dt=plan.dt,
-                                target=plan.target))
+                                target=plan.target,
+                                monitor_factory=monitor_factory,
+                                mitigator=mitigator))
     return traces

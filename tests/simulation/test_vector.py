@@ -97,18 +97,22 @@ class TestCampaignParity:
         for s, v in zip(serial, vector):
             assert_traces_equal(s, v)
 
-    def test_monitored_campaign_falls_back_to_scalar(self,
-                                                     assert_traces_equal):
-        """A monitor forces the scalar path; results must match the
-        monitor-less ones in every non-alert channel and carry alerts."""
+    def test_monitored_campaign_batches_exactly(self, assert_traces_equal):
+        """Monitored runs batch through the vector engine (no scalar
+        fallback since the mitigation vectorization): the batched traces
+        equal the scalar monitored run in every field, and the dynamics
+        match the monitor-less ones (a monitor alone never perturbs)."""
         from repro.core import cawot_monitor
         scenarios = small_campaign(2)
+        serial = run_campaign("glucosym", ["A"], scenarios, n_steps=25,
+                              monitor_factory=lambda pid: cawot_monitor())
         monitored = run_campaign("glucosym", ["A"], scenarios, n_steps=25,
                                  monitor_factory=lambda pid: cawot_monitor(),
                                  batch_size=8)
         plain = run_campaign("glucosym", ["A"], scenarios, n_steps=25,
                              batch_size=8)
-        for m, p in zip(monitored, plain):
+        for s, m, p in zip(serial, monitored, plain):
+            assert_traces_equal(s, m)
             assert np.array_equal(m.true_bg, p.true_bg)
             assert m.alert.dtype == np.bool_
 

@@ -1,0 +1,327 @@
+"""Parity and edge-case tests for lock-step mitigated closed-loop runs.
+
+The acceptance property mirrors the plain vector suite: a mitigated
+campaign with any ``batch_size`` must be element-wise bit-identical to the
+scalar :class:`~repro.simulation.loop.ClosedLoop` — for both mitigator
+families, on both patient platforms, across every fault kind — including
+the feedback the correction injects into later cycles (IOB, glucose, the
+controller's own state).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GuidelineMonitor
+from repro.controllers import ControlAction
+from repro.core import (FixedMitigator, Mitigator, MonitorVerdict, NO_ALERT,
+                        PredictiveMitigator, ProportionalMitigator,
+                        SafetyMonitor, cawot_monitor)
+from repro.fi import (CampaignConfig, FaultInjector, FaultKind, FaultSpec,
+                      FaultTarget, generate_campaign)
+from repro.hazards import HazardType
+from repro.simulation import Scenario, make_loop, run_batch, run_campaign
+from repro.simulation.executor import SimRun
+from repro.simulation.features import ContextBatch
+
+
+# the two benchmarked strategy families: Algorithm 1 (fixed H2 dose) and
+# the KnowSafe-style rule+prediction strategy
+FAMILIES = [FixedMitigator, PredictiveMitigator]
+
+
+def small_campaign(n=6):
+    scenarios = generate_campaign(CampaignConfig(
+        stride=1, init_glucose_values=(90.0, 160.0),
+        timing_choices=((0, 6), (8, 10))))
+    return scenarios[:n]
+
+
+def scalar_reference(platform, runs, n_steps, monitor_factory, mitigator):
+    """The scalar chunk-runner semantics: one loop per patient, monitor
+    from the factory, the shared mitigator reset per run."""
+    traces = []
+    loops = {}
+    for run in runs:
+        if run.patient_id not in loops:
+            loops[run.patient_id] = make_loop(
+                platform, run.patient_id,
+                monitor=monitor_factory(run.patient_id), mitigator=mitigator)
+        loop = loops[run.patient_id]
+        loop.injector = FaultInjector(run.fault) if run.fault else None
+        traces.append(loop.run(Scenario(init_glucose=run.init_glucose,
+                                        n_steps=n_steps, label=run.label)))
+    return traces
+
+
+class CountingMitigator(Mitigator):
+    """Stateful custom strategy without a columnar override: suspends
+    insulin on the first ``budget`` alerts of a run, then gives up.
+    Exercises the column-loop fallback *and* per-row reset isolation —
+    if rows shared state, the budget would drain across the batch."""
+
+    def __init__(self, budget=3):
+        self.budget = budget
+        self.used = 0
+
+    def reset(self):
+        self.used = 0
+
+    def correct(self, verdict, ctx):
+        if self.used >= self.budget:
+            return ctx.rate, ctx.bolus
+        self.used += 1
+        return 0.0, 0.0
+
+
+class RisingStreakMonitor(SafetyMonitor):
+    """Stateful custom monitor (no vectorized observe_batch, stateless
+    stays False): alerts after three consecutive rising-BG cycles."""
+
+    name = "rising-streak"
+
+    def __init__(self):
+        self._streak = 0
+
+    def reset(self):
+        self._streak = 0
+
+    def observe(self, ctx):
+        self._streak = self._streak + 1 if ctx.bg_rate > 0.0 else 0
+        if self._streak >= 3:
+            return MonitorVerdict(alert=True, hazard=HazardType.H1,
+                                  triggered=("rising",))
+        return NO_ALERT
+
+
+class TestMitigatedCampaignParity:
+    @pytest.mark.parametrize("platform,patients", [
+        ("glucosym", ["A", "B"]),
+        ("t1ds2013", ["P01", "P02"]),
+    ])
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_both_platforms_both_families(self, platform, patients, family,
+                                          assert_traces_equal):
+        scenarios = small_campaign(6)
+        kwargs = dict(monitor_factory=lambda pid: cawot_monitor(),
+                      mitigator=family(), n_steps=30)
+        serial = run_campaign(platform, patients, scenarios, **kwargs)
+        vector = run_campaign(platform, patients, scenarios, batch_size=8,
+                              **kwargs)
+        assert len(serial) == len(vector) == 12
+        assert any(t.mitigated.any() for t in serial)
+        for s, v in zip(serial, vector):
+            assert_traces_equal(s, v)
+
+    @pytest.mark.parametrize("platform,pid,init", [
+        ("glucosym", "A", 170.0),
+        ("t1ds2013", "P01", 190.0),
+    ])
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_all_fault_kinds_all_targets(self, platform, pid, init, family,
+                                         assert_traces_equal):
+        """Every manipulation type on every target, mitigated, stays
+        exact — the mitigation acceptance grid."""
+        runs = []
+        for kind in FaultKind:
+            for target in FaultTarget:
+                value = {FaultKind.ADD: 60.0, FaultKind.SUB: 40.0,
+                         FaultKind.SCALE: 0.5}.get(kind, 0.0)
+                fault = FaultSpec(kind=kind, target=target, start_step=3,
+                                  duration_steps=12, value=value)
+                runs.append(SimRun(patient_id=pid, init_glucose=init,
+                                   label=fault.label, fault=fault))
+        factory = lambda _pid: cawot_monitor()
+        mitigator = family()
+        reference = scalar_reference(platform, runs, 30, factory, mitigator)
+        vector = run_batch(platform, runs, n_steps=30,
+                           monitor_factory=factory, mitigator=mitigator)
+        assert len(vector) == len(FaultKind) * len(FaultTarget)
+        assert any(t.mitigated.any() for t in reference)
+        for s, v in zip(reference, vector):
+            assert_traces_equal(s, v)
+
+    def test_proportional_family_and_ragged_batches(self,
+                                                    assert_traces_equal):
+        scenarios = small_campaign(7)
+        kwargs = dict(monitor_factory=lambda pid: cawot_monitor(),
+                      mitigator=ProportionalMitigator(), n_steps=30)
+        reference = run_campaign("glucosym", ["A"], scenarios, **kwargs)
+        for batch_size in (2, 3, 7, 50):
+            vector = run_campaign("glucosym", ["A"], scenarios,
+                                  batch_size=batch_size, **kwargs)
+            for s, v in zip(reference, vector):
+                assert_traces_equal(s, v)
+
+    def test_batch_times_workers(self, assert_traces_equal):
+        """workers and batch_size compose on mitigated campaigns too."""
+        scenarios = small_campaign(6)
+        kwargs = dict(monitor_factory=lambda pid: cawot_monitor(),
+                      mitigator=FixedMitigator(), n_steps=25)
+        reference = run_campaign("glucosym", ["A", "B"], scenarios, **kwargs)
+        combo = run_campaign("glucosym", ["A", "B"], scenarios, workers=2,
+                             batch_size=3, **kwargs)
+        assert len(combo) == len(reference)
+        for s, v in zip(reference, combo):
+            assert_traces_equal(s, v)
+
+    def test_stateful_monitor_rows_clone_exactly(self, assert_traces_equal):
+        """Stateful monitors (no vectorized tick path) drive per-row
+        clones; excursion timers must not leak across rows."""
+        scenarios = small_campaign(5)
+        kwargs = dict(monitor_factory=lambda pid: GuidelineMonitor(),
+                      mitigator=FixedMitigator(), n_steps=35)
+        serial = run_campaign("glucosym", ["A", "B"], scenarios, **kwargs)
+        vector = run_campaign("glucosym", ["A", "B"], scenarios,
+                              batch_size=4, **kwargs)
+        assert any(t.mitigated.any() for t in serial)
+        for s, v in zip(serial, vector):
+            assert_traces_equal(s, v)
+
+    def test_monitor_without_mitigator(self, assert_traces_equal):
+        """Alert channels are recorded and the command passes through."""
+        scenarios = small_campaign(4)
+        kwargs = dict(monitor_factory=lambda pid: cawot_monitor(), n_steps=30)
+        serial = run_campaign("glucosym", ["A"], scenarios, **kwargs)
+        vector = run_campaign("glucosym", ["A"], scenarios, batch_size=4,
+                              **kwargs)
+        assert any(t.alert.any() for t in serial)
+        assert not any(t.mitigated.any() for t in serial)
+        for s, v in zip(serial, vector):
+            assert_traces_equal(s, v)
+            assert np.array_equal(v.final_rate, v.cmd_rate)
+
+    def test_mitigator_without_monitor_never_fires(self, assert_traces_equal):
+        """The scalar loop's NO_ALERT semantics: no monitor, no correction."""
+        scenarios = small_campaign(3)
+        plain = run_campaign("glucosym", ["A"], scenarios, n_steps=25,
+                             batch_size=4)
+        with_mit = run_campaign("glucosym", ["A"], scenarios, n_steps=25,
+                                batch_size=4, mitigator=FixedMitigator())
+        for s, v in zip(plain, with_mit):
+            assert_traces_equal(s, v)
+
+
+class TestMitigatorEdgeCases:
+    def test_custom_mitigator_column_loop_fallback(self, assert_traces_equal):
+        """A strategy without correct_mask runs per-row scalar clones —
+        bit-identical to the scalar loop (mirrors the custom-monitor
+        fallback test of the replay suite)."""
+        scenarios = small_campaign(6)
+        factory = lambda pid: cawot_monitor()
+        serial = run_campaign("glucosym", ["A", "B"], scenarios, n_steps=30,
+                              monitor_factory=factory,
+                              mitigator=CountingMitigator(budget=3))
+        vector = run_campaign("glucosym", ["A", "B"], scenarios, n_steps=30,
+                              monitor_factory=factory,
+                              mitigator=CountingMitigator(budget=3),
+                              batch_size=8)
+        assert any(t.mitigated.any() for t in serial)
+        for s, v in zip(serial, vector):
+            assert_traces_equal(s, v)
+
+    def test_stateful_reset_isolation_across_batched_scenarios(self):
+        """Identical scenarios batched together must mitigate identically:
+        the budget is per run (per row), never shared across the batch."""
+        runs = [SimRun(patient_id="A", init_glucose=170.0, label=f"r{i}")
+                for i in range(5)]
+        traces = run_batch("glucosym", runs, n_steps=30,
+                           monitor_factory=lambda pid: cawot_monitor(),
+                           mitigator=CountingMitigator(budget=2))
+        counts = [int(t.mitigated.sum()) for t in traces]
+        assert counts == [counts[0]] * 5  # no cross-row leakage
+        assert 0 < counts[0] <= 2  # the budget held per row
+
+    def test_custom_stateful_monitor_with_mitigation(self,
+                                                     assert_traces_equal):
+        """Custom monitor (column clones) + built-in mitigator (columnar
+        correct_mask) compose exactly."""
+        scenarios = small_campaign(4)
+        kwargs = dict(monitor_factory=lambda pid: RisingStreakMonitor(),
+                      mitigator=FixedMitigator(), n_steps=35)
+        serial = run_campaign("glucosym", ["A"], scenarios, **kwargs)
+        vector = run_campaign("glucosym", ["A"], scenarios, batch_size=4,
+                              **kwargs)
+        assert any(t.mitigated.any() for t in serial)
+        for s, v in zip(serial, vector):
+            assert_traces_equal(s, v)
+
+    def test_proportional_bounds(self):
+        """0 <= rate <= max_rate always; H1 and non-alert rows exact."""
+        mit = ProportionalMitigator(isf=40.0, bg_target=120.0, max_rate=3.0,
+                                    horizon_h=1.5)
+        n = 6
+        bg = np.array([60.0, 120.0, 200.0, 400.0, 180.0, 90.0])
+        iob = np.array([0.0, 0.0, 5.0, 0.0, 1.0, 0.2])
+        rate = np.full(n, 1.2)
+        bolus = np.zeros(n)
+        alerts = np.array([True, True, True, True, True, False])
+        hazards = np.array([1, 2, 2, 2, 2, 0])
+        tick = ContextBatch.from_tick(
+            0.0, bg, np.zeros(n), iob, np.zeros(n), rate, bolus,
+            np.full(n, int(ControlAction.KEEP)), 5.0)
+        out_rate, out_bolus = mit.correct_mask(alerts, hazards, tick)
+        assert np.all(out_rate >= 0.0) and np.all(out_rate <= 3.0)
+        assert out_rate[0] == 0.0          # H1 suspends
+        assert out_rate[1] == 0.0          # at target: nothing needed
+        assert out_rate[2] == 0.0          # IOB already covers the excess
+        assert out_rate[3] == 3.0          # clipped at max_rate
+        assert out_rate[5] == rate[5]      # non-alert passes through
+        assert np.all(out_bolus[alerts] == 0.0)
+        assert out_bolus[5] == bolus[5]
+        # the columnar path is the scalar correct, row for row
+        for b in range(n):
+            ctx = list(tick.iter_column(b))[0]
+            verdict = (MonitorVerdict(alert=True,
+                                      hazard=HazardType(int(hazards[b])))
+                       if alerts[b] else NO_ALERT)
+            s_rate, s_bolus = mit.correct(verdict, ctx)
+            assert s_rate == out_rate[b] and s_bolus == out_bolus[b]
+
+    def test_predictive_suspend_rule(self):
+        """The knowledge rule vetoes insulin on a predicted drop, even
+        for H2 alerts; otherwise the forecast sizes the dose."""
+        mit = PredictiveMitigator(isf=50.0, bg_target=120.0,
+                                  horizon_min=30.0, max_rate=5.0,
+                                  suspend_bg=90.0)
+        n = 4
+        bg = np.array([200.0, 200.0, 300.0, 150.0])
+        bg_rate = np.array([-4.0, 0.5, 0.0, 0.0])  # row 0 forecasts 80 < 90
+        tick = ContextBatch.from_tick(
+            0.0, bg, bg_rate, np.zeros(n), np.zeros(n), np.full(n, 1.0),
+            np.zeros(n), np.full(n, int(ControlAction.KEEP)), 5.0)
+        alerts = np.array([True, True, True, False])
+        hazards = np.array([2, 2, 2, 0])
+        rate, bolus = mit.correct_mask(alerts, hazards, tick)
+        assert rate[0] == 0.0              # suspend rule fired on H2
+        assert 0.0 < rate[1] <= 5.0
+        assert rate[2] == 5.0              # large excess clips at max_rate
+        assert rate[3] == 1.0              # non-alert passes through
+        for b in range(n):
+            ctx = list(tick.iter_column(b))[0]
+            verdict = (MonitorVerdict(alert=True,
+                                      hazard=HazardType(int(hazards[b])))
+                       if alerts[b] else NO_ALERT)
+            assert mit.correct(verdict, ctx) == (rate[b], bolus[b])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            PredictiveMitigator(horizon_min=0.0)
+        with pytest.raises(ValueError):
+            PredictiveMitigator(isf=-1.0)
+        with pytest.raises(ValueError):
+            ProportionalMitigator(horizon_h=0.0)
+
+    def test_broken_correct_mask_override_fails_loudly(self):
+        class Broken(FixedMitigator):
+            def correct_mask(self, alerts, hazards, tick):
+                return None  # violates the columnar contract
+
+        runs = [SimRun(patient_id="A", init_glucose=170.0, label="x")]
+        with pytest.raises(ValueError, match="correct_mask"):
+            run_batch("glucosym", runs, n_steps=30,
+                      monitor_factory=lambda pid: cawot_monitor(),
+                      mitigator=Broken())
+
+    def test_base_correct_mask_returns_none(self):
+        assert CountingMitigator().correct_mask(
+            np.array([True]), np.array([1]), None) is None
