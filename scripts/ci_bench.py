@@ -13,8 +13,12 @@ mitigation entries additionally enforce absolute floors:
 ``replay_vector`` must be at least ``REPLAY_SPEEDUP_FLOOR`` (3x) faster
 than the scalar replay, and ``mitigation_vector`` at least
 ``MITIGATION_SPEEDUP_FLOOR`` (3x) faster than the scalar mitigated loop,
-whatever the baseline says.  The JSON is uploaded as a CI artifact either
-way, so every commit leaves a performance record.
+whatever the baseline says.  The ``search`` entry (the cross-entropy
+scenario search of ``repro.search``) is gated the same way: timed
+against the baseline and floored at ``SEARCH_EFFICIENCY_FLOOR`` (3x)
+hazards-found-per-simulation relative to the fixed grid.  The JSON is
+uploaded as a CI artifact either way, so every commit leaves a
+performance record.
 
 The baseline is calibrated on the CI runner class; after an intentional
 performance change (or a runner upgrade), refresh it with::
@@ -41,6 +45,7 @@ from repro.experiments.data import platform_data
 from repro.experiments.table6 import run_table6
 from repro.fi import CampaignConfig, generate_campaign
 from repro.ml import train_dt_monitor
+from repro.search import CrossEntropySearch
 from repro.simulation import replay_campaign, run_campaign, warm_profiles
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -62,6 +67,11 @@ REPLAY_SPEEDUP_FLOOR = 3.0
 #: absolute floor for the batched mitigated-campaign speedup (Table VII
 #: closed loop: monitor + mitigator in the lock-step engine)
 MITIGATION_SPEEDUP_FLOOR = 3.0
+
+#: absolute floor for the scenario search's discovery efficiency:
+#: hazards-per-simulation must beat the fixed grid's by at least this
+#: ratio (the repro.search acceptance bar, see docs/scenario_search.md)
+SEARCH_EFFICIENCY_FLOOR = 3.0
 
 
 def git_sha() -> str:
@@ -153,6 +163,31 @@ def run_benchmarks() -> dict:
     print(f"  serial/vector mitigation speedup: {mitigation_speedup}x",
           flush=True)
 
+    # cross-entropy scenario search (repro.search) on the batched path:
+    # gate both its wall time and its discovery efficiency against the
+    # grid campaign measured above
+    def run_searches():
+        found = []
+        for i, pid in enumerate(config.patients):
+            search = CrossEntropySearch(platform=config.platform,
+                                        patient_id=pid,
+                                        n_steps=config.n_steps,
+                                        population=32, iterations=6,
+                                        batch_size=32)
+            found.append(search.run(seed=i))
+        return found
+
+    results_by_patient = timed("search", run_searches)
+    grid_rate = sum(t.hazardous for t in traces) / len(traces)
+    search_sims = sum(r.n_simulations for r in results_by_patient)
+    search_hazards = sum(r.n_hazardous for r in results_by_patient)
+    search_rate = search_hazards / max(search_sims, 1)
+    ratio = round(search_rate / max(grid_rate, 1e-9), 2)
+    results["search"]["hazards_per_1k"] = round(1000.0 * search_rate, 1)
+    results["search"]["hazard_ratio_vs_grid"] = ratio
+    print(f"  search efficiency: {results['search']['hazards_per_1k']} "
+          f"hazards/1k sims, {ratio}x the grid", flush=True)
+
     # warm the shared experiment cache so the table6 number measures the
     # monitors (ML training jobs, threshold learning, replay) — the stage
     # this repo's training layer parallelises — not re-simulation
@@ -206,6 +241,12 @@ def check_against_baseline(results: dict, peak_mb: float,
             f"mitigation_vector speedup {speedup}x is below the "
             f"{MITIGATION_SPEEDUP_FLOOR}x floor — the batched mitigated "
             "closed loop has degenerated to (or below) scalar throughput")
+    ratio = results.get("search", {}).get("hazard_ratio_vs_grid")
+    if ratio is not None and ratio < SEARCH_EFFICIENCY_FLOOR:
+        regressions.append(
+            f"search hazard discovery is only {ratio}x the fixed grid's, "
+            f"below the {SEARCH_EFFICIENCY_FLOOR}x floor — the "
+            "cross-entropy loop has stopped out-hunting enumeration")
     return regressions
 
 

@@ -38,6 +38,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 MAPPED_DOCS = (
     (os.path.join("docs", "architecture.md"), True),
     (os.path.join("docs", "mitigation.md"), True),
+    (os.path.join("docs", "scenario_search.md"), True),
 )
 
 #: markdown inline links [text](target); images share the syntax

@@ -22,7 +22,10 @@ closed loop (CAWOT monitor wired to the fixed Algorithm 1 strategy, the
 Table VII configuration) is swept across batch sizes {1, 8} x workers
 {1, 2} and every combination must reproduce the scalar mitigated run
 element-wise — the live lock-step monitor/mitigator path of
-``repro.simulation.vector``.
+``repro.simulation.vector``.  Last, a tiny cross-entropy scenario-search
+budget (``repro.search``) must find at least one hazard on the ``ci``
+preset and return a seed-deterministic ``SearchResult`` across executor
+shapes.
 
 Run:  python scripts/ci_smoke_parallel.py [workers]
 """
@@ -41,6 +44,7 @@ from repro.experiments import ExperimentConfig
 from repro.experiments.data import ml_baseline_jobs
 from repro.fi import CampaignConfig, generate_campaign
 from repro.ml import monitor_state, run_training_jobs
+from repro.search import CrossEntropySearch
 from repro.simulation import (CampaignStoreWriter, TraceDataset,
                               plan_campaign, plan_fingerprint,
                               replay_campaign, run_campaign)
@@ -238,6 +242,38 @@ def main() -> int:
           f"{n_fired}/{n_expected} traces corrected) element-wise identical "
           f"at batch sizes 1/8 x workers 1/{workers} "
           f"(scalar {t_mit_scalar:.2f}s, 4 sweeps {t_mit_sweep:.2f}s)")
+
+    # scenario-search smoke: a tiny cross-entropy budget must still find a
+    # hazard on the ci preset, and the SearchResult must be seed-
+    # deterministic across executor shapes (the repro.search contract)
+    def run_search(search_workers, batch_size):
+        return CrossEntropySearch(
+            platform=config.platform, patient_id=config.patients[0],
+            n_steps=config.n_steps, population=16, iterations=2,
+            workers=search_workers, batch_size=batch_size).run(seed=0)
+
+    start = time.perf_counter()
+    search_ref = run_search(1, 1)
+    t_search = time.perf_counter() - start
+    if search_ref.n_hazardous < 1:
+        print(f"FAIL: scenario search found no hazard in "
+              f"{search_ref.n_simulations} simulations "
+              f"({search_ref.summary()})")
+        return 1
+    for search_workers, batch_size in ((1, 16), (workers, 8)):
+        other = run_search(search_workers, batch_size)
+        findings_match = (
+            [f.label for f in other.findings]
+            == [f.label for f in search_ref.findings]
+            and [s.elite_indices for s in other.iterations]
+            == [s.elite_indices for s in search_ref.iterations])
+        if not findings_match or other.n_simulations != search_ref.n_simulations:
+            print(f"FAIL: scenario search diverges from the scalar run at "
+                  f"batch_size={batch_size}, workers={search_workers}")
+            return 1
+    print(f"OK: scenario search ({search_ref.summary()}) seed-deterministic "
+          f"at batch sizes 1/8/16 x workers 1/{workers} "
+          f"(scalar {t_search:.2f}s)")
     return 0
 
 

@@ -18,6 +18,7 @@ from .fig9 import run_fig9
 from .overhead import run_overhead
 from .render import ExperimentResult
 from .resilience import run_fig7, run_fig8
+from .search import run_search, search_vs_grid
 from .table5 import run_table5
 from .table6 import run_table6
 from .table7 import run_table7
@@ -38,6 +39,8 @@ __all__ = [
     "ExperimentResult",
     "run_fig7",
     "run_fig8",
+    "run_search",
+    "search_vs_grid",
     "run_table5",
     "run_table6",
     "run_table7",

@@ -9,9 +9,12 @@ from .campaign import (
     generate_campaign,
 )
 from .engine import FaultInjector
-from .faults import FaultKind, FaultSpec, FaultTarget, VARIABLE_RANGES
+from .faults import (FaultKind, FaultSpec, FaultTarget, MAX_SCALE_FACTOR,
+                     VARIABLE_RANGES, magnitude_bounds)
 
 __all__ = [
+    "MAX_SCALE_FACTOR",
+    "magnitude_bounds",
     "CAMPAIGN_FAULTS",
     "CampaignConfig",
     "INITIAL_GLUCOSE_VALUES",

@@ -22,10 +22,16 @@ scale       multiplicative corruption; factor 0.5 reproduces the
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-__all__ = ["FaultKind", "FaultTarget", "FaultSpec", "VARIABLE_RANGES"]
+__all__ = ["FaultKind", "FaultTarget", "FaultSpec", "VARIABLE_RANGES",
+           "MAX_SCALE_FACTOR", "magnitude_bounds"]
+
+#: largest multiplicative corruption a SCALE fault may apply — factors past
+#: this saturate at the variable range anyway, so larger samples are noise
+MAX_SCALE_FACTOR = 10.0
 
 
 class FaultKind(enum.Enum):
@@ -74,6 +80,28 @@ VARIABLE_RANGES: Dict[FaultTarget, Tuple[float, float]] = {
 }
 
 
+def magnitude_bounds(kind: FaultKind,
+                     target: FaultTarget) -> Optional[Tuple[float, float]]:
+    """Valid magnitude interval for a (kind, target) fault configuration.
+
+    ``None`` means the kind takes no magnitude (TRUNCATE/HOLD/MAX/MIN).
+    ``ADD``/``SUB`` offsets must be strictly positive (0 is a silent no-op)
+    and no larger than the target's full acceptable span — anything bigger
+    clamps to the same saturated value, so allowing it would only blur the
+    search space.  ``SCALE`` factors live in ``[0, MAX_SCALE_FACTOR]``.
+    """
+    if kind in (FaultKind.TRUNCATE, FaultKind.HOLD, FaultKind.MAX,
+                FaultKind.MIN):
+        return None
+    if kind is FaultKind.SCALE:
+        return (0.0, MAX_SCALE_FACTOR)
+    lo, hi = VARIABLE_RANGES[target]
+    span = hi - lo
+    # smallest meaningful offset: far below any clinically visible error,
+    # but strictly positive so a sampled 0.0 is rejected as a no-op
+    return (1e-6, span)
+
+
 @dataclass(frozen=True)
 class FaultSpec:
     """One transient fault scenario.
@@ -105,8 +133,66 @@ class FaultSpec:
         if self.duration_steps <= 0:
             raise ValueError(
                 f"duration_steps must be positive, got {self.duration_steps}")
+        if not math.isfinite(self.value):
+            raise ValueError(f"fault value must be finite, got {self.value}")
         if self.kind is FaultKind.SCALE and self.value < 0:
             raise ValueError(f"scale factor must be >= 0, got {self.value}")
+
+    @classmethod
+    def from_continuous(cls, kind: FaultKind, target: FaultTarget,
+                        start_step: float, duration_steps: float,
+                        value: float = 0.0, *, horizon: int) -> "FaultSpec":
+        """Build a validated spec from *continuous* scenario parameters.
+
+        Scenario-search proposals (:mod:`repro.search`) sample fault timing
+        and magnitude as real numbers; this constructor is the single place
+        those samples become discrete specs.  It rejects — loudly, with
+        :class:`ValueError` — every degenerate combination that the plain
+        constructor cannot see because it lacks the simulation horizon:
+
+        - non-finite or negative timing, zero/negative duration (a fault
+          that never activates would silently score as a safe scenario);
+        - ``start_step`` at or past *horizon* (the fault window would lie
+          entirely outside the simulated trace — a silent no-op);
+        - magnitudes outside :func:`magnitude_bounds` for the kind/target
+          (an ``ADD`` of 0 or of more than the variable's full range is a
+          no-op or pure saturation, either of which corrupts the search
+          objective silently).
+
+        Timing is floored to whole control cycles after validation, so any
+        sample inside the continuous box maps to exactly one valid spec.
+        """
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1 step, got {horizon}")
+        if not (math.isfinite(start_step) and math.isfinite(duration_steps)):
+            raise ValueError(
+                f"fault timing must be finite, got start {start_step}, "
+                f"duration {duration_steps}")
+        if start_step < 0:
+            raise ValueError(f"start_step must be >= 0, got {start_step}")
+        if duration_steps < 1:
+            raise ValueError(
+                f"duration_steps must be >= 1 cycle, got {duration_steps} "
+                "(a zero-length fault would simulate as fault-free)")
+        start = int(math.floor(start_step))
+        duration = int(math.floor(duration_steps))
+        if start >= horizon:
+            raise ValueError(
+                f"start_step {start} is outside the simulation horizon "
+                f"({horizon} steps) — the fault would never activate")
+        bounds = magnitude_bounds(kind, target)
+        if bounds is None:
+            if value != 0.0:
+                raise ValueError(
+                    f"{kind.value} faults take no magnitude, got {value}")
+        else:
+            lo, hi = bounds
+            if not math.isfinite(value) or not lo <= value <= hi:
+                raise ValueError(
+                    f"{kind.value}_{target.value} magnitude {value} is "
+                    f"outside the valid range [{lo}, {hi}]")
+        return cls(kind=kind, target=target, start_step=start,
+                   duration_steps=duration, value=value)
 
     @property
     def end_step(self) -> int:

@@ -1,6 +1,8 @@
-"""BG risk index (Eq. 5) and hazard labeling (Section IV-C2)."""
+"""BG risk index (Eq. 5), hazard labeling (Section IV-C2) and the
+continuous hazard-proximity scoring used by the rare-event search."""
 
 from .labeling import DEFAULT_WINDOW, HazardLabel, HazardType, label_hazards
+from .scoring import HAZARD_BONUS, HazardScore, excursion_margin, score_trace
 from .risk import (
     HBGI_THRESHOLD,
     LBGI_THRESHOLD,
@@ -16,6 +18,10 @@ __all__ = [
     "HazardLabel",
     "HazardType",
     "label_hazards",
+    "HAZARD_BONUS",
+    "HazardScore",
+    "excursion_margin",
+    "score_trace",
     "HBGI_THRESHOLD",
     "LBGI_THRESHOLD",
     "hbgi",

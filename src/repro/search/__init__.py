@@ -1,0 +1,31 @@
+"""Rare-event scenario search: hunt hazards instead of enumerating them.
+
+The paper's evaluation exhausts a fixed 882-injections-per-patient fault
+grid (Section V-B).  This package turns the batched simulation substrate
+into an adaptive hazard hunter: a continuous scenario space over fault,
+sensor-drift and meal-disturbance families (:mod:`repro.search.space`), a
+parametric proposal distribution (:mod:`repro.search.proposal`) and a
+cross-entropy loop (:mod:`repro.search.cross_entropy`) that simulates
+whole populations as lock-step vector batches and refits toward the
+hazard boundary.  See ``docs/scenario_search.md`` for the algorithm and
+the determinism contract.
+"""
+
+from .cross_entropy import (CrossEntropySearch, HazardFinding,
+                            IterationStats, SearchResult)
+from .proposal import Proposal
+from .space import (DIMENSION_NAMES, ScenarioFamily, ScenarioSample,
+                    ScenarioSpace, default_families)
+
+__all__ = [
+    "CrossEntropySearch",
+    "HazardFinding",
+    "IterationStats",
+    "SearchResult",
+    "Proposal",
+    "DIMENSION_NAMES",
+    "ScenarioFamily",
+    "ScenarioSample",
+    "ScenarioSpace",
+    "default_families",
+]

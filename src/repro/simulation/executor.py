@@ -45,6 +45,7 @@ from ..core.monitor import SafetyMonitor
 from ..fi import FaultInjector, FaultSpec, InjectionScenario
 from ..parallel import (fork_map_chunks, resolve_batch_size, resolve_workers,
                         shard_indices)
+from ..patients import Meal
 from .scenario import Scenario
 from .trace import SimulationTrace, trace_to_arrays, trace_to_struct
 
@@ -65,12 +66,19 @@ MonitorFactory = Callable[[str], SafetyMonitor]
 
 @dataclass(frozen=True)
 class SimRun:
-    """One cell of the campaign grid: a patient plus one simulation spec."""
+    """One cell of the campaign grid: a patient plus one simulation spec.
+
+    ``meals`` carries scheduled carbohydrate disturbances (empty for the
+    paper's meal-free grid); sampled scenario populations — the rare-event
+    search in :mod:`repro.search` — plan meal scenarios through the same
+    executor path, so both the scalar and lock-step engines consume them.
+    """
 
     patient_id: str
     init_glucose: float
     label: str
     fault: Optional[FaultSpec] = None
+    meals: Tuple[Meal, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -379,7 +387,7 @@ def _run_chunk(plan: CampaignPlan, runs: Sequence[SimRun],
         loop.injector = (FaultInjector(run.fault)
                          if run.fault is not None else None)
         sim = Scenario(init_glucose=run.init_glucose, n_steps=plan.n_steps,
-                       dt=plan.dt, label=run.label)
+                       dt=plan.dt, label=run.label, meals=run.meals)
         traces.append(loop.run(sim))
     return traces
 

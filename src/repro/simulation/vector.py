@@ -692,6 +692,10 @@ def run_batch(platform: str, runs: Sequence[SimRun], n_steps: int,
     stage of the same tick (Algorithm 1), exactly like the scalar loop.
     A mitigator without a monitor never fires — the scalar loop's
     ``NO_ALERT`` semantics.
+
+    Meal disturbances come from each run's ``SimRun.meals`` schedule by
+    default; the explicit *meals* argument (one event sequence per run)
+    overrides them for callers that batch ad-hoc scenarios.
     """
     from .batch import _PLATFORM_CONTROLLERS, make_controller
 
@@ -704,7 +708,10 @@ def run_batch(platform: str, runs: Sequence[SimRun], n_steps: int,
     if controller_kind is None:
         raise KeyError(f"unknown platform {platform!r}; "
                        f"available: {sorted(_PLATFORM_CONTROLLERS)}")
-    if meals is not None and len(meals) != B:
+    if meals is None:
+        # plan-path scheduling: each SimRun carries its own meal events
+        meals = [getattr(run, "meals", ()) or () for run in runs]
+    if len(meals) != B:
         raise ValueError("meals must align with runs")
 
     # one patient model + titrated scalar controller per distinct cohort
@@ -767,7 +774,7 @@ def run_batch(platform: str, runs: Sequence[SimRun], n_steps: int,
     n_sub = max(1, int(round(dt / type(next(iter(patients.values()))).dt_integration)))
     dt_sub = dt / n_sub
     sub_times = _substep_times(n_steps, n_sub, dt_sub)
-    run_meals = meals if meals is not None else [()] * B
+    run_meals = meals
     if controller_kind == "openaps":
         ra_timeline = _precompute_ivp_ra(run_meals, params, sub_times, dt_sub)
         ingestion = {}

@@ -287,6 +287,28 @@ class TestWorkerParity:
         _assert_rows_identical(serial.rows, parallel.rows)
 
 
+class TestSearchExperiment:
+    def test_rows_and_ratio(self, cfg):
+        from repro.experiments import run_search
+        result = run_search(dataclasses.replace(cfg, batch_size=32))
+        assert [r[0] for r in result.rows] == list(cfg.patients) + ["ALL"]
+        for row in result.rows:
+            pid, g_sims, g_haz, g_rate, s_sims, s_haz, s_rate, ratio = row
+            assert 0 <= g_haz <= g_sims and 0 <= s_haz <= s_sims
+            assert ratio == pytest.approx(
+                round(s_rate / g_rate if g_rate else float("inf"), 2),
+                abs=0.05)
+        # the subsystem's headline claim, at smoke scale with slack:
+        # adaptive search must out-discover the fixed grid
+        assert result.rows[-1][-1] > 1.0
+        assert any("best hazard" in note for note in result.notes)
+
+    def test_deterministic_rows(self, cfg):
+        from repro.experiments import run_search
+        fast = dataclasses.replace(cfg, batch_size=32)
+        assert run_search(fast).rows == run_search(fast).rows
+
+
 class TestDiscussion:
     def test_adversarial_beats_fault_free(self, cfg):
         rows = {row[0]: row for row in run_adversarial_ablation(cfg).rows}

@@ -1,0 +1,130 @@
+"""Edge-case validation of FaultSpec and the continuous constructor.
+
+The scenario search feeds real-valued samples into
+``FaultSpec.from_continuous``; these tests pin the contract that every
+degenerate combination fails loudly with ``ValueError`` instead of
+silently simulating as a fault-free (or saturated) run.
+"""
+
+import math
+
+import pytest
+
+from repro.fi import (FaultKind, FaultSpec, FaultTarget, MAX_SCALE_FACTOR,
+                      VARIABLE_RANGES, magnitude_bounds)
+
+HORIZON = 150
+
+
+def _make(**overrides):
+    kw = dict(kind=FaultKind.ADD, target=FaultTarget.GLUCOSE,
+              start_step=10.0, duration_steps=12.0, value=50.0,
+              horizon=HORIZON)
+    kw.update(overrides)
+    return FaultSpec.from_continuous(**kw)
+
+
+class TestMagnitudeBounds:
+    def test_additive_bounds_span_variable_range(self):
+        for target in FaultTarget:
+            lo, hi = VARIABLE_RANGES[target]
+            for kind in (FaultKind.ADD, FaultKind.SUB):
+                bounds = magnitude_bounds(kind, target)
+                assert bounds == (1e-6, hi - lo)
+
+    def test_scale_bounds(self):
+        assert magnitude_bounds(FaultKind.SCALE, FaultTarget.RATE) == \
+            (0.0, MAX_SCALE_FACTOR)
+
+    def test_magnitude_free_kinds_have_no_bounds(self):
+        for kind in (FaultKind.TRUNCATE, FaultKind.HOLD, FaultKind.MAX,
+                     FaultKind.MIN):
+            assert magnitude_bounds(kind, FaultTarget.GLUCOSE) is None
+
+
+class TestFromContinuousTiming:
+    def test_valid_sample_floors_to_cycles(self):
+        spec = _make(start_step=10.9, duration_steps=12.7)
+        assert (spec.start_step, spec.duration_steps) == (10, 12)
+        assert spec == FaultSpec(FaultKind.ADD, FaultTarget.GLUCOSE,
+                                 start_step=10, duration_steps=12,
+                                 value=50.0)
+
+    @pytest.mark.parametrize("duration", [0.0, 0.99, -3.0])
+    def test_rejects_zero_or_negative_duration(self, duration):
+        with pytest.raises(ValueError, match="duration_steps"):
+            _make(duration_steps=duration)
+
+    @pytest.mark.parametrize("start", [float(HORIZON), HORIZON + 0.5,
+                                       HORIZON * 10.0])
+    def test_rejects_start_outside_horizon(self, start):
+        with pytest.raises(ValueError, match="outside the simulation"):
+            _make(start_step=start)
+
+    def test_start_just_inside_horizon_is_accepted(self):
+        spec = _make(start_step=HORIZON - 0.01)
+        assert spec.start_step == HORIZON - 1
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError, match="start_step"):
+            _make(start_step=-1.0)
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_rejects_non_finite_timing(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            _make(start_step=bad)
+        with pytest.raises(ValueError, match="duration|finite"):
+            _make(duration_steps=bad)
+
+    @pytest.mark.parametrize("horizon", [0, -5])
+    def test_rejects_empty_horizon(self, horizon):
+        with pytest.raises(ValueError, match="horizon"):
+            _make(horizon=horizon)
+
+
+class TestFromContinuousMagnitude:
+    def test_rejects_zero_additive_magnitude(self):
+        # an ADD of exactly 0 would simulate as fault-free
+        with pytest.raises(ValueError, match="outside the valid range"):
+            _make(value=0.0)
+
+    def test_rejects_magnitude_above_variable_span(self):
+        lo, hi = VARIABLE_RANGES[FaultTarget.GLUCOSE]
+        with pytest.raises(ValueError, match="outside the valid range"):
+            _make(value=(hi - lo) + 1.0)
+
+    def test_rejects_scale_factor_above_cap(self):
+        with pytest.raises(ValueError, match="outside the valid range"):
+            _make(kind=FaultKind.SCALE, target=FaultTarget.RATE,
+                  value=MAX_SCALE_FACTOR + 0.1)
+
+    def test_rejects_non_finite_magnitude(self):
+        with pytest.raises(ValueError):
+            _make(value=math.nan)
+
+    def test_magnitude_free_kind_rejects_nonzero_value(self):
+        with pytest.raises(ValueError, match="no magnitude"):
+            _make(kind=FaultKind.HOLD, value=5.0)
+
+    def test_magnitude_free_kind_accepts_zero(self):
+        spec = _make(kind=FaultKind.TRUNCATE, value=0.0)
+        assert spec.kind is FaultKind.TRUNCATE
+        assert spec.value == 0.0
+
+    def test_campaign_fault_values_pass_bounds(self):
+        # the paper's own grid must survive its generalised bounds
+        from repro.fi.campaign import CAMPAIGN_FAULTS
+        for kind, target, value in CAMPAIGN_FAULTS:
+            _make(kind=kind, target=target, value=value)
+
+
+class TestPlainConstructor:
+    def test_rejects_non_finite_value(self):
+        with pytest.raises(ValueError, match="finite"):
+            FaultSpec(FaultKind.ADD, FaultTarget.GLUCOSE, start_step=0,
+                      duration_steps=1, value=math.inf)
+
+    def test_rejects_negative_scale(self):
+        with pytest.raises(ValueError, match="scale factor"):
+            FaultSpec(FaultKind.SCALE, FaultTarget.RATE, start_step=0,
+                      duration_steps=1, value=-0.5)

@@ -1,0 +1,121 @@
+"""Property tests for the Kovatchev risk metrics (hazards.risk).
+
+These pin the *shape* of the risk surface rather than point values (which
+tests/hazards/test_risk.py already covers): non-negativity, the sign
+split about the risk-zero glucose, monotonicity away from it on both
+branches, and the LBGI/HBGI branch-exclusivity that makes the paper's
+thresholds meaningful.  Randomised BG arrays use fixed seeds so failures
+reproduce exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hazards import hbgi, lbgi, risk, signed_risk
+from repro.hazards.risk import RISK_ZERO_BG
+
+#: physiologically generous but positive glucose range (mg/dL)
+BG_MIN, BG_MAX = 10.0, 600.0
+
+bg_values = st.floats(min_value=BG_MIN, max_value=BG_MAX,
+                      allow_nan=False, allow_infinity=False)
+
+
+def _random_bg(seed, n=64, lo=BG_MIN, hi=BG_MAX):
+    return np.random.default_rng(seed).uniform(lo, hi, size=n)
+
+
+class TestRiskShape:
+    @given(bg_values)
+    @settings(max_examples=200, deadline=None)
+    def test_risk_non_negative(self, bg):
+        assert risk(bg) >= 0.0
+
+    @given(bg_values)
+    @settings(max_examples=200, deadline=None)
+    def test_risk_is_magnitude_of_signed_risk(self, bg):
+        assert risk(bg) == pytest.approx(abs(signed_risk(bg)))
+
+    @given(bg_values)
+    @settings(max_examples=200, deadline=None)
+    def test_signed_risk_sign_matches_branch(self, bg):
+        signed = signed_risk(bg)
+        if bg < RISK_ZERO_BG:
+            assert signed <= 0.0
+        else:
+            assert signed >= 0.0
+
+    def test_risk_vanishes_at_zero_crossing(self):
+        assert risk(RISK_ZERO_BG) == pytest.approx(0.0, abs=1e-9)
+        assert signed_risk(RISK_ZERO_BG) == pytest.approx(0.0, abs=1e-9)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_vectorised_matches_scalar(self, seed):
+        bg = _random_bg(seed)
+        assert np.allclose(risk(bg), [risk(float(b)) for b in bg])
+        assert np.allclose(signed_risk(bg),
+                           [signed_risk(float(b)) for b in bg])
+
+    def test_rejects_non_positive_glucose(self):
+        with pytest.raises(ValueError):
+            risk(0.0)
+        with pytest.raises(ValueError):
+            signed_risk(np.array([120.0, -5.0]))
+
+
+class TestMonotonicity:
+    """Risk grows monotonically *away* from the zero crossing."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_hypo_branch_decreasing_in_bg(self, seed):
+        bg = np.sort(_random_bg(seed, lo=BG_MIN, hi=RISK_ZERO_BG - 1e-6))
+        r = risk(bg)
+        assert np.all(np.diff(r) <= 1e-12)  # lower BG => higher risk
+        assert np.all(np.diff(signed_risk(bg)) >= -1e-12)
+
+    @pytest.mark.parametrize("seed", [3, 4, 5])
+    def test_hyper_branch_increasing_in_bg(self, seed):
+        bg = np.sort(_random_bg(seed, lo=RISK_ZERO_BG + 1e-6, hi=BG_MAX))
+        r = risk(bg)
+        assert np.all(np.diff(r) >= -1e-12)  # higher BG => higher risk
+        assert np.all(np.diff(signed_risk(bg)) >= -1e-12)
+
+    def test_signed_risk_monotone_across_branches(self):
+        bg = np.linspace(BG_MIN, BG_MAX, 512)
+        assert np.all(np.diff(signed_risk(bg)) >= -1e-12)
+
+
+class TestIndexBranches:
+    """LBGI sees only the hypo branch, HBGI only the hyper branch."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_indices_non_negative(self, seed):
+        bg = _random_bg(seed)
+        assert lbgi(bg) >= 0.0
+        assert hbgi(bg) >= 0.0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_hyper_samples_invisible_to_lbgi(self, seed):
+        hypo = _random_bg(seed, n=24, lo=BG_MIN, hi=RISK_ZERO_BG - 1.0)
+        hyper = _random_bg(seed + 100, n=24, lo=RISK_ZERO_BG + 1.0,
+                           hi=BG_MAX)
+        # appending hyper samples changes LBGI only through the window
+        # length (they contribute zero risk mass to the low branch)
+        combined = np.concatenate([hypo, hyper])
+        assert lbgi(combined) * len(combined) == pytest.approx(
+            lbgi(hypo) * len(hypo))
+        assert hbgi(combined) * len(combined) == pytest.approx(
+            hbgi(hyper) * len(hyper))
+
+    @pytest.mark.parametrize("seed", [6, 7, 8])
+    def test_in_range_window_scores_near_zero(self, seed):
+        # samples pinned at the zero crossing carry no risk at all
+        bg = np.full(32, RISK_ZERO_BG)
+        assert lbgi(bg) == pytest.approx(0.0, abs=1e-9)
+        assert hbgi(bg) == pytest.approx(0.0, abs=1e-9)
+        # a tight euglycemic band stays far below both thresholds
+        bg = _random_bg(seed, lo=90.0, hi=140.0)
+        assert lbgi(bg) < 2.0
+        assert hbgi(bg) < 2.0

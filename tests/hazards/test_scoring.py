@@ -1,0 +1,90 @@
+"""Tests for the continuous hazard-proximity objective (hazards.scoring)."""
+
+import numpy as np
+import pytest
+
+from repro.hazards import (HAZARD_BONUS, HBGI_THRESHOLD, LBGI_THRESHOLD,
+                           excursion_margin, rolling_indices, score_trace)
+
+
+class TestExcursionMargin:
+    def test_euglycemic_trace_is_negative(self):
+        bg = np.full(60, 120.0)
+        margin = excursion_margin(bg)
+        assert margin < 0.0
+        # euglycemia has zero risk mass, so the margin is exactly the
+        # smaller threshold distance
+        assert margin == pytest.approx(-LBGI_THRESHOLD)
+
+    def test_hypoglycemic_trace_is_positive(self):
+        bg = np.full(60, 40.0)
+        assert excursion_margin(bg) > 0.0
+
+    def test_margin_matches_rolling_indices(self):
+        rng = np.random.default_rng(0)
+        bg = rng.uniform(40.0, 400.0, size=90)
+        lbgi_s, hbgi_s = rolling_indices(bg, 12)
+        expected = max(lbgi_s.max() - LBGI_THRESHOLD,
+                       hbgi_s.max() - HBGI_THRESHOLD)
+        assert excursion_margin(bg, 12) == pytest.approx(expected)
+
+    def test_monotone_under_deepening_hypo(self):
+        # pushing the nadir lower can only increase the margin
+        margins = [excursion_margin(np.full(60, nadir))
+                   for nadir in (110.0, 90.0, 70.0, 50.0)]
+        assert margins == sorted(margins)
+
+
+class TestScoreTrace:
+    def test_campaign_traces_score_consistently(self, tiny_campaign_traces):
+        hazard_scores, safe_scores = [], []
+        for trace in tiny_campaign_traces:
+            s = score_trace(trace)
+            assert s.hazardous == trace.hazardous
+            if s.hazardous:
+                assert s.margin > 0.0
+                assert s.score == pytest.approx(
+                    s.margin + HAZARD_BONUS
+                    + 1.0 / (1.0 + s.time_to_hazard / 60.0))
+                assert s.first_hazard == trace.hazard_label.first_hazard
+                assert s.time_to_hazard >= 0.0
+                assert s.hazard_type != 0
+                # the bonus lifts every hazard above its own margin, so at
+                # equal excursion depth hazards outrank near-misses
+                assert s.score > s.margin + HAZARD_BONUS
+                hazard_scores.append(s.score)
+            else:
+                assert s.score == s.margin
+                assert s.first_hazard is None and s.time_to_hazard is None
+                assert s.hazard_type == 0
+                safe_scores.append(s.score)
+        assert hazard_scores and safe_scores
+        assert max(hazard_scores) > max(safe_scores)
+
+    def test_uses_cached_label_for_default_window(self, tiny_campaign_traces):
+        trace = tiny_campaign_traces[0]
+        s = score_trace(trace)
+        label = trace.hazard_label
+        expected = float(np.maximum(label.lbgi - LBGI_THRESHOLD,
+                                    label.hbgi - HBGI_THRESHOLD).max())
+        assert s.margin == pytest.approx(expected)
+
+    def test_custom_window_changes_margin(self, tiny_campaign_traces):
+        trace = next(t for t in tiny_campaign_traces if t.hazardous)
+        default = score_trace(trace)
+        short = score_trace(trace, window=3)
+        assert short.margin != default.margin
+
+    def test_tth_anchored_at_fault_activation(self, tiny_campaign_traces):
+        trace = next(t for t in tiny_campaign_traces
+                     if t.hazardous and t.fault is not None
+                     and t.hazard_label.first_hazard
+                     >= t.fault.start_step)
+        s = score_trace(trace)
+        expected = (trace.hazard_label.first_hazard
+                    - trace.fault.start_step) * trace.dt
+        assert s.time_to_hazard == pytest.approx(expected)
+
+    def test_deterministic(self, tiny_campaign_traces):
+        trace = tiny_campaign_traces[0]
+        assert score_trace(trace) == score_trace(trace)

@@ -1,0 +1,205 @@
+"""Unit tests for the scenario space and the CE proposal distribution."""
+
+import numpy as np
+import pytest
+
+from repro.fi import FaultKind, FaultTarget
+from repro.search import (DIMENSION_NAMES, Proposal, ScenarioFamily,
+                          ScenarioSpace, default_families)
+
+N_DIMS = len(DIMENSION_NAMES)
+
+
+class TestScenarioFamily:
+    def test_kind_and_target_must_pair(self):
+        with pytest.raises(ValueError, match="together"):
+            ScenarioFamily(name="half", kind=FaultKind.ADD)
+        with pytest.raises(ValueError, match="together"):
+            ScenarioFamily(name="half", target=FaultTarget.RATE)
+
+    def test_rejects_invalid_duration_range(self):
+        with pytest.raises(ValueError, match="duration_range"):
+            ScenarioFamily(name="bad", duration_range=(0, 10))
+        with pytest.raises(ValueError, match="duration_range"):
+            ScenarioFamily(name="bad", duration_range=(10, 5))
+
+    def test_rejects_magnitude_range_outside_bounds(self):
+        with pytest.raises(ValueError, match="magnitude_range"):
+            ScenarioFamily(name="too_big", kind=FaultKind.ADD,
+                           target=FaultTarget.RATE,
+                           magnitude_range=(0.5, 1e9))
+
+    def test_meal_only_family_has_no_fault(self):
+        family = ScenarioFamily(name="meal")
+        assert not family.has_fault
+
+
+class TestDefaultFamilies:
+    def test_covers_campaign_plus_drift_plus_meal(self):
+        families = default_families()
+        names = [f.name for f in families]
+        assert len(names) == len(set(names)) == 17
+        assert {"drift_high", "drift_low", "meal"} <= set(names)
+        assert "add_glucose" in names and "truncate_rate" in names
+
+    def test_drift_families_are_long_window_glucose_bias(self):
+        by_name = {f.name: f for f in default_families(n_steps=150)}
+        for name in ("drift_high", "drift_low"):
+            fam = by_name[name]
+            assert fam.target is FaultTarget.GLUCOSE
+            assert fam.duration_range == (48, 150)
+            assert fam.magnitude_range == (5.0, 40.0)
+
+    def test_short_horizon_clamps_durations(self):
+        for fam in default_families(n_steps=30):
+            if fam.has_fault:   # duration is meaningless for meal-only
+                assert fam.duration_range[1] <= 30
+
+
+class TestScenarioSpace:
+    def test_defaults_are_populated(self):
+        space = ScenarioSpace()
+        assert space.n_families == 17
+        assert space.n_dims == N_DIMS
+
+    def test_rejects_duplicate_family_names(self):
+        fam = ScenarioFamily(name="dup")
+        with pytest.raises(ValueError, match="duplicate"):
+            ScenarioSpace(families=(fam, fam))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_steps": 1}, {"dt": 0.0}, {"init_bg_range": (0.0, 100.0)},
+        {"init_bg_range": (200.0, 100.0)}, {"meal_carbs_range": (-1.0, 5.0)},
+        {"meal_window_fraction": 0.0}, {"meal_window_fraction": 1.5},
+    ])
+    def test_rejects_degenerate_configuration(self, kwargs):
+        with pytest.raises(ValueError):
+            ScenarioSpace(**kwargs)
+
+    def test_materialise_validates_inputs(self):
+        space = ScenarioSpace()
+        mid = np.full(N_DIMS, 0.5)
+        with pytest.raises(ValueError, match="family_index"):
+            space.materialise(-1, mid)
+        with pytest.raises(ValueError, match="family_index"):
+            space.materialise(space.n_families, mid)
+        with pytest.raises(ValueError, match="coordinates"):
+            space.materialise(0, np.full(N_DIMS - 1, 0.5))
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            space.materialise(0, np.full(N_DIMS, 1.5))
+
+    def test_materialise_is_total_on_the_cube(self):
+        """Every corner and the centre of the cube maps to a valid sample."""
+        space = ScenarioSpace(n_steps=60)
+        corners = [np.zeros(N_DIMS), np.ones(N_DIMS), np.full(N_DIMS, 0.5)]
+        for fi in range(space.n_families):
+            for u in corners:
+                sample = space.materialise(fi, u)
+                run = sample.to_run("B")
+                assert run.init_glucose == sample.init_glucose
+                if sample.fault is not None:
+                    assert sample.fault.start_step < space.n_steps
+                    assert sample.fault.duration_steps >= 1
+
+    def test_materialise_deterministic_mapping(self):
+        space = ScenarioSpace()
+        u = np.array([0.25, 0.5, 0.5, 0.5, 0.75, 0.5])
+        a = space.materialise(3, u)
+        b = space.materialise(3, u)
+        assert a == b
+        assert a.params == tuple(u)
+
+    def test_fault_timing_and_magnitude_lerp(self):
+        space = ScenarioSpace(n_steps=150)
+        by_name = {f.name: i for i, f in enumerate(space.families)}
+        idx = by_name["add_glucose"]
+        fam = space.families[idx]
+        sample = space.materialise(idx, np.array([0, 0, 0, 0, 0, 0.0]))
+        assert sample.fault.start_step == 0
+        assert sample.fault.duration_steps == fam.duration_range[0]
+        assert sample.fault.value == fam.magnitude_range[0]
+        sample = space.materialise(idx, np.array([1, 1, 1, 1, 0, 0.0]))
+        assert sample.fault.start_step == space.n_steps - 1
+        assert sample.fault.duration_steps == fam.duration_range[1]
+        assert sample.fault.value == fam.magnitude_range[1]
+
+    def test_small_carbs_mean_no_meal(self):
+        space = ScenarioSpace()
+        u = np.full(N_DIMS, 0.5)
+        u[4] = 0.0   # 0 g < min_meal_carbs
+        assert space.materialise(0, u).meals == ()
+        u[4] = 1.0   # 120 g
+        sample = space.materialise(0, u)
+        assert len(sample.meals) == 1
+        assert sample.meals[0].carbs == space.meal_carbs_range[1]
+
+    def test_meal_lands_inside_the_window(self):
+        space = ScenarioSpace(n_steps=150, dt=5.0)
+        u = np.ones(N_DIMS)
+        meal = space.materialise(0, u).meals[0]
+        assert meal.time <= space.meal_window_fraction * 150 * 5.0
+
+    def test_labels_are_unique_per_scenario(self):
+        space = ScenarioSpace()
+        rng = np.random.default_rng(0)
+        samples = [space.materialise(i % space.n_families,
+                                     rng.uniform(size=N_DIMS))
+                   for i in range(40)]
+        labels = [s.label for s in samples]
+        assert len(set(labels)) == len(labels)
+
+
+class TestProposal:
+    def test_uniform_shape(self):
+        p = Proposal.uniform(17, N_DIMS)
+        assert p.family_probs.shape == (17,)
+        assert np.allclose(p.family_probs.sum(), 1.0)
+        assert p.mean.shape == p.std.shape == (N_DIMS,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="probability"):
+            Proposal(family_probs=np.array([0.5, 0.6]),
+                     mean=np.full(2, 0.5), std=np.full(2, 0.1))
+        with pytest.raises(ValueError, match="positive"):
+            Proposal(family_probs=np.array([1.0]),
+                     mean=np.full(2, 0.5), std=np.zeros(2))
+        with pytest.raises(ValueError, match="matching"):
+            Proposal(family_probs=np.array([1.0]),
+                     mean=np.full(2, 0.5), std=np.full(3, 0.1))
+
+    def test_sample_bounds_and_determinism(self):
+        p = Proposal.uniform(5, N_DIMS)
+        fam1, u1 = p.sample(np.random.default_rng(42), 64)
+        fam2, u2 = p.sample(np.random.default_rng(42), 64)
+        assert np.array_equal(fam1, fam2) and np.array_equal(u1, u2)
+        assert fam1.shape == (64,) and u1.shape == (64, N_DIMS)
+        assert np.all((fam1 >= 0) & (fam1 < 5))
+        assert np.all((u1 >= 0.0) & (u1 <= 1.0))
+
+    def test_refit_moves_toward_elites(self):
+        p = Proposal.uniform(4, 2)
+        elites = np.array([1, 1, 1, 2])
+        elite_u = np.array([[0.9, 0.1]] * 4)
+        q = p.refit(elites, elite_u, smoothing=0.7)
+        assert q.family_probs[1] > p.family_probs[1]
+        assert q.family_probs[0] < p.family_probs[0]
+        assert np.all(q.family_probs > 0)   # smoothing keeps a tail
+        assert q.mean[0] > p.mean[0] and q.mean[1] < p.mean[1]
+
+    def test_refit_floors_std(self):
+        p = Proposal.uniform(2, 2)
+        # identical elites => zero empirical std => floor kicks in
+        q = p.refit(np.array([0, 0]), np.full((2, 2), 0.5),
+                    smoothing=1.0, std_floor=0.07)
+        assert np.allclose(q.std, 0.07)
+
+    def test_refit_validation(self):
+        p = Proposal.uniform(2, 2)
+        with pytest.raises(ValueError, match="smoothing"):
+            p.refit(np.array([0]), np.full((1, 2), 0.5), smoothing=0.0)
+        with pytest.raises(ValueError, match="std_floor"):
+            p.refit(np.array([0]), np.full((1, 2), 0.5), std_floor=0.0)
+        with pytest.raises(ValueError, match="shape"):
+            p.refit(np.array([0]), np.full((1, 3), 0.5))
+        with pytest.raises(ValueError, match="aligned"):
+            p.refit(np.array([]), np.empty((0, 2)))

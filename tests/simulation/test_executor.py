@@ -123,6 +123,37 @@ class TestParity:
             get_executor(0)
 
 
+class TestRunMeals:
+    """SimRun-level meal plans (the scenario-search path) keep parity."""
+
+    def meal_plan(self):
+        from repro.patients import Meal
+        runs = (
+            SimRun(patient_id="A", init_glucose=120.0, label="no-meal"),
+            SimRun(patient_id="A", init_glucose=120.0, label="meal-early",
+                   meals=(Meal(time=25.0, carbs=60.0),)),
+            SimRun(patient_id="A", init_glucose=160.0, label="meal-late",
+                   meals=(Meal(time=100.0, carbs=40.0),)),
+        )
+        return CampaignPlan(platform="glucosym", runs=runs, n_steps=40)
+
+    def test_meals_affect_the_trace(self):
+        traces = SerialExecutor().run(self.meal_plan())
+        base, early, _ = traces
+        assert not np.array_equal(base.true_bg, early.true_bg)
+        # carbs raise glucose relative to the meal-free run
+        assert early.true_bg[10:].max() > base.true_bg[10:].max()
+
+    def test_meal_parity_across_executors(self, assert_traces_equal):
+        plan = self.meal_plan()
+        scalar = SerialExecutor(batch_size=1).run(plan)
+        vector = SerialExecutor(batch_size=8).run(plan)
+        parallel = ParallelExecutor(workers=2, batch_size=2).run(plan)
+        for s, v, p in zip(scalar, vector, parallel):
+            assert_traces_equal(s, v)
+            assert_traces_equal(s, p)
+
+
 class TestSinks:
     def test_list_sink_matches_return_value(self, assert_traces_equal):
         scenarios = small_campaign(3)

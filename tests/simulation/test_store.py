@@ -441,6 +441,16 @@ class TestErrorPaths:
         with pytest.raises(CampaignStoreError, match="corrupted shard"):
             dataset[4]
 
+    def test_fold_split_requires_fold_assignments(self, tmp_path,
+                                                  tiny_campaign_traces):
+        directory = str(tmp_path / "nofolds")
+        with CampaignStoreWriter(directory, TINY_PLATFORM,
+                                 len(tiny_campaign_traces[0])) as sink:
+            sink.write(tiny_campaign_traces[0])
+        dataset = TraceDataset.open(directory)
+        with pytest.raises(CampaignStoreError, match="fold assignments"):
+            dataset.fold_split(0)
+
     def test_shuffled_shards_detected(self, store_dir):
         dataset = TraceDataset.open(store_dir)
         a = os.path.join(store_dir, dataset.entry(0)["file"])

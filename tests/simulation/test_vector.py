@@ -213,6 +213,25 @@ class TestBatchComposition:
         for s, v in zip(reference, vector):
             assert_traces_equal(s, v)
 
+    def test_run_level_meals_are_the_default_schedule(self,
+                                                      assert_traces_equal):
+        """With no explicit ``meals=``, each SimRun's own meal plan applies
+        (the scenario-search path through the executors)."""
+        meals = (Meal(time=20.0, carbs=45.0),)
+        runs = [SimRun(patient_id="A", init_glucose=120.0, label="m",
+                       meals=meals),
+                SimRun(patient_id="A", init_glucose=160.0, label="n")]
+        explicit = run_batch("glucosym", runs, n_steps=30,
+                             meals=[meals, ()])
+        implicit = run_batch("glucosym", runs, n_steps=30)
+        for a, b in zip(explicit, implicit):
+            assert_traces_equal(a, b)
+
+    def test_misaligned_meals_rejected(self):
+        with pytest.raises(ValueError, match="align"):
+            run_batch("glucosym", [SimRun("A", 120.0, "x")], n_steps=10,
+                      meals=[(), ()])
+
 
 class TestExecutorKnobs:
     def test_get_executor_batch_size(self):
