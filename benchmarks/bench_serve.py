@@ -1,0 +1,74 @@
+"""Online monitor service throughput under synthetic streaming load.
+
+Drives a :class:`~repro.serve.MonitorService` holding the stateless
+serving set (CAWT with learned thresholds, CAWOT, a trained DT) with the
+deterministic load generator at several fleet sizes, reporting sustained
+user-ticks/sec and per-tick latency percentiles.  A final test asserts
+the acceptance bar the CI bench gate also enforces: the service sustains
+at least 10,000 users per tick on one process, and the replay-from-log
+path stays element-wise identical to offline ``replay_campaign``.
+
+Run:  pytest benchmarks/bench_serve.py --benchmark-only -s
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import cawot_monitor, cawt_monitor, learn_thresholds
+from repro.experiments import ExperimentConfig
+from repro.fi import CampaignConfig, generate_campaign
+from repro.ml import train_dt_monitor
+from repro.serve import MonitorService, replay_log, run_load
+from repro.simulation import replay_campaign, run_campaign
+
+CONFIG = ExperimentConfig.preset("ci")
+SCENARIOS = generate_campaign(CampaignConfig(stride=CONFIG.stride))
+
+#: the acceptance bar: one process serves at least this many users/tick
+USERS_PER_TICK_FLOOR = 10_000
+
+_CACHE = {}
+
+
+def _traces_and_monitors():
+    if not _CACHE:
+        traces = run_campaign(CONFIG.platform, CONFIG.patients, SCENARIOS,
+                              n_steps=CONFIG.n_steps, batch_size=32)
+        _CACHE["traces"] = traces
+        _CACHE["monitors"] = {
+            "CAWT": cawt_monitor(learn_thresholds(traces,
+                                                  batch_size=32).thresholds),
+            "CAWOT": cawot_monitor(),
+            "DT": train_dt_monitor(traces),
+        }
+    return _CACHE["traces"], _CACHE["monitors"]
+
+
+@pytest.mark.parametrize("n_users", [1_000, 10_000, 50_000])
+def test_serve_throughput(benchmark, n_users):
+    _, monitors = _traces_and_monitors()
+    service = MonitorService(monitors)
+    report = benchmark.pedantic(
+        run_load, args=(service, n_users, 5), kwargs={"seed": 0},
+        rounds=1, iterations=1)
+    print(f"\n{report.summary()}")
+    assert report.n_ticks == 5
+
+
+def test_serve_floor_and_parity():
+    """The bench gate's bar: >=10k users/tick sustained, and served
+    replay element-wise identical to offline replay_campaign."""
+    traces, monitors = _traces_and_monitors()
+    service = MonitorService(monitors)
+    report = run_load(service, n_users=USERS_PER_TICK_FLOOR, n_ticks=5,
+                      seed=0)
+    print(f"\n{report.summary()}")
+    assert report.users_per_sec >= USERS_PER_TICK_FLOOR, (
+        f"service sustained {report.users_per_sec:,.0f} user-ticks/s, "
+        f"below the {USERS_PER_TICK_FLOOR:,} floor")
+
+    offline = replay_campaign(monitors, traces)
+    served = replay_log(monitors, traces)
+    for name in monitors:
+        for a, b in zip(offline[name], served[name]):
+            assert np.array_equal(a, b), name

@@ -2,8 +2,9 @@
 
 Runs a small *fixed* benchmark configuration — the ``ci``-scale grids behind
 ``benchmarks/bench_parallel_campaign.py``, ``bench_vector_campaign.py``,
-``bench_vector_replay.py``, ``bench_vector_mitigation.py`` and
-``benchmarks/bench_table6_ml.py`` — and writes ``BENCH_<sha>.json`` with
+``bench_vector_replay.py``, ``bench_vector_mitigation.py``,
+``bench_serve.py`` and ``benchmarks/bench_table6_ml.py`` — and writes
+``BENCH_<sha>.json`` with
 per-benchmark wall time (plus the serial-vs-vector simulation, replay and
 mitigation speedups) and the process peak RSS.  The measurements are then
 compared against the committed ``benchmarks/BENCH_baseline.json``: any
@@ -16,9 +17,12 @@ than the scalar replay, and ``mitigation_vector`` at least
 whatever the baseline says.  The ``search`` entry (the cross-entropy
 scenario search of ``repro.search``) is gated the same way: timed
 against the baseline and floored at ``SEARCH_EFFICIENCY_FLOOR`` (3x)
-hazards-found-per-simulation relative to the fixed grid.  The JSON is
-uploaded as a CI artifact either way, so every commit leaves a
-performance record.
+hazards-found-per-simulation relative to the fixed grid.  The ``serve``
+entry drives the online monitor service with the deterministic load
+generator and floors sustained throughput at ``SERVE_THROUGHPUT_FLOOR``
+(10k user-ticks/sec — a 10k-user fleet served inside one tick), recording
+the p99 tick latency alongside.  The JSON is uploaded as a CI artifact
+either way, so every commit leaves a performance record.
 
 The baseline is calibrated on the CI runner class; after an intentional
 performance change (or a runner upgrade), refresh it with::
@@ -46,6 +50,7 @@ from repro.experiments.table6 import run_table6
 from repro.fi import CampaignConfig, generate_campaign
 from repro.ml import train_dt_monitor
 from repro.search import CrossEntropySearch
+from repro.serve import MonitorService, run_load
 from repro.simulation import replay_campaign, run_campaign, warm_profiles
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -72,6 +77,17 @@ MITIGATION_SPEEDUP_FLOOR = 3.0
 #: hazards-per-simulation must beat the fixed grid's by at least this
 #: ratio (the repro.search acceptance bar, see docs/scenario_search.md)
 SEARCH_EFFICIENCY_FLOOR = 3.0
+
+#: absolute floor for the online monitor service: one process must
+#: sustain at least this many user-ticks per second of service time at
+#: the 5-minute cadence — i.e. serve >= 10k users per tick — under the
+#: deterministic load generator (see docs/monitor_service.md)
+SERVE_THROUGHPUT_FLOOR = 10_000
+
+#: fleet size the serve benchmark drives (== the floor: the gate checks
+#: that a fleet of this size is served in under one tick interval)
+SERVE_FLEET_SIZE = 10_000
+SERVE_TICKS = 5
 
 
 def git_sha() -> str:
@@ -188,6 +204,19 @@ def run_benchmarks() -> dict:
     print(f"  search efficiency: {results['search']['hazards_per_1k']} "
           f"hazards/1k sims, {ratio}x the grid", flush=True)
 
+    # online monitor service: the stateless serving set (CAWT, CAWOT, DT
+    # — all trained above) under the deterministic load generator; the
+    # gate floors sustained user-ticks/sec at SERVE_THROUGHPUT_FLOOR and
+    # tracks the p99 tick latency
+    serve_monitors = {name: monitors[name] for name in ("CAWT", "CAWOT",
+                                                        "DT")}
+    service = MonitorService(serve_monitors)
+    report = timed("serve", lambda: run_load(service, SERVE_FLEET_SIZE,
+                                             SERVE_TICKS, seed=0))
+    results["serve"]["users_per_sec"] = round(report.users_per_sec, 1)
+    results["serve"]["p99_tick_ms"] = round(report.p99_tick_ms, 2)
+    print(f"  serve: {report.summary()}", flush=True)
+
     # warm the shared experiment cache so the table6 number measures the
     # monitors (ML training jobs, threshold learning, replay) — the stage
     # this repo's training layer parallelises — not re-simulation
@@ -247,6 +276,12 @@ def check_against_baseline(results: dict, peak_mb: float,
             f"search hazard discovery is only {ratio}x the fixed grid's, "
             f"below the {SEARCH_EFFICIENCY_FLOOR}x floor — the "
             "cross-entropy loop has stopped out-hunting enumeration")
+    users_per_sec = results.get("serve", {}).get("users_per_sec")
+    if users_per_sec is not None and users_per_sec < SERVE_THROUGHPUT_FLOOR:
+        regressions.append(
+            f"serve throughput {users_per_sec:,.0f} user-ticks/s is below "
+            f"the {SERVE_THROUGHPUT_FLOOR:,} floor — one service process "
+            "can no longer hold a 10k-user fleet at the 5-minute cadence")
     return regressions
 
 

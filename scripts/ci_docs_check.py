@@ -39,6 +39,7 @@ MAPPED_DOCS = (
     (os.path.join("docs", "architecture.md"), True),
     (os.path.join("docs", "mitigation.md"), True),
     (os.path.join("docs", "scenario_search.md"), True),
+    (os.path.join("docs", "monitor_service.md"), True),
 )
 
 #: markdown inline links [text](target); images share the syntax

@@ -17,7 +17,11 @@ Every monitor kind (CAWT, CAWOT, Guideline, MPC and the trained
 DT/MLP/LSTM) is then replayed over the campaign scalar and through the
 batched ``observe_batch`` path at batch sizes {7, 32} x workers {1, 2},
 asserting element-wise identical alert streams — the exact-parity
-contract of ``repro.simulation.vector_replay``.  Finally the *mitigated*
+contract of ``repro.simulation.vector_replay``.  The same campaign is then pushed
+through the online :class:`MonitorService` as a live tick stream
+(``repro.serve.replay_log``) twice, and both served runs must reproduce
+the offline ``replay_campaign`` alert streams element-wise at offline
+batch sizes {1, 8} — the serving parity contract.  Then the *mitigated*
 closed loop (CAWOT monitor wired to the fixed Algorithm 1 strategy, the
 Table VII configuration) is swept across batch sizes {1, 8} x workers
 {1, 2} and every combination must reproduce the scalar mitigated run
@@ -45,6 +49,7 @@ from repro.experiments.data import ml_baseline_jobs
 from repro.fi import CampaignConfig, generate_campaign
 from repro.ml import monitor_state, run_training_jobs
 from repro.search import CrossEntropySearch
+from repro.serve import replay_log
 from repro.simulation import (CampaignStoreWriter, TraceDataset,
                               plan_campaign, plan_fingerprint,
                               replay_campaign, run_campaign)
@@ -208,6 +213,36 @@ def main() -> int:
           f"({', '.join(monitors)}) element-wise identical to scalar at "
           f"batch sizes 7/32 x workers 1/{workers} "
           f"(scalar {t_scalar:.2f}s, 4 batched sweeps {t_batched:.2f}s)")
+
+    # serving parity: replay the recorded campaign through the online
+    # MonitorService as a live tick stream, twice, and compare against
+    # the offline replay at batch sizes 1 and 8 — every monitor kind,
+    # stateful ones included (per-user clones inside the service)
+    offline_refs = {1: ref}
+    offline_refs[8] = {
+        name: replay_campaign({name: monitor}, replay_traces[name],
+                              batch_size=8)[name]
+        for name, monitor in monitors.items()}
+    fast = {name: m for name, m in monitors.items() if name != "LSTM"}
+    start = time.perf_counter()
+    for service_run in (1, 2):
+        served = replay_log(fast, serial)
+        served.update(replay_log({"LSTM": monitors["LSTM"]}, serial[:12]))
+        for offline_batch, offline in offline_refs.items():
+            for name in monitors:
+                bad = [i for i, (a, b) in enumerate(zip(offline[name],
+                                                        served[name]))
+                       if not np.array_equal(a, b)]
+                if len(served[name]) != len(offline[name]) or bad:
+                    print(f"FAIL: served alert stream of {name} diverges "
+                          f"from offline replay (batch_size={offline_batch}, "
+                          f"service run {service_run}, {len(bad)} trace(s), "
+                          f"first at {bad[0] if bad else '?'})")
+                    return 1
+    t_serve = time.perf_counter() - start
+    print(f"OK: online service reproduces offline replay of "
+          f"{len(monitors)} monitor kinds element-wise "
+          f"(2 service runs x offline batch sizes 1/8, {t_serve:.2f}s)")
 
     # mitigated-batch parity: the live Table VII closed loop (monitor +
     # mitigator inside the lock-step engine) across batch x worker combos

@@ -26,6 +26,7 @@ monitors whose arithmetic vectorizes exactly override it.
 from __future__ import annotations
 
 import abc
+import copy
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -88,6 +89,34 @@ class SafetyMonitor(abc.ABC):
 
     def reset(self) -> None:
         """Clear per-simulation state (default: stateless)."""
+
+    def clone(self) -> "SafetyMonitor":
+        """An independent reset copy of this monitor.
+
+        The canonical way to give a stateful monitor its own per-row /
+        per-user state: both the lock-step simulation engine
+        (:mod:`repro.simulation.vector`) and the online serving layer
+        (:mod:`repro.serve`) call this once per column or connected user.
+        The default — a :func:`copy.deepcopy` followed by :meth:`reset` —
+        is exactly the scalar loop's run-start semantics; monitors whose
+        state is expensive to copy may override with something cheaper as
+        long as the clone is observationally a fresh instance.
+        """
+        clone = copy.deepcopy(self)
+        clone.reset()
+        return clone
+
+    def export_state(self) -> Dict[str, object]:
+        """JSON-able construction state for the serving registry.
+
+        Monitors that can be persisted by
+        :class:`repro.serve.registry.MonitorRegistry` override this (and
+        the registry knows how to rebuild them); the base implementation
+        refuses loudly so an unsupported monitor never round-trips as an
+        empty shell.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support registry state export")
 
     def observe_batch(self, batch) -> Tuple[np.ndarray, np.ndarray]:
         """Evaluate a lock-step stack of recorded context streams.
@@ -212,6 +241,24 @@ class ContextAwareMonitor(SafetyMonitor):
         merged.update(thresholds)
         return ContextAwareMonitor(thresholds=merged, bg_target=self.bg_target,
                                    rules=self.rules, name=name or self.name)
+
+    def export_state(self) -> Dict[str, object]:
+        """Thresholds + BGT + name — everything needed to rebuild the
+        monitor over the full Table I rule set.  Custom rule subsets are
+        refused (a silently-dropped subset would change verdicts)."""
+        if self.rules != aps_rules():
+            raise NotImplementedError(
+                "only the full Table I rule set round-trips through the "
+                "registry; this monitor carries a custom rule subset")
+        return {"thresholds": dict(self.thresholds),
+                "bg_target": self.bg_target, "name": self.name}
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "ContextAwareMonitor":
+        """Rebuild a monitor from :meth:`export_state` output."""
+        return cls(thresholds=dict(state["thresholds"]),
+                   bg_target=float(state["bg_target"]),
+                   name=str(state["name"]))
 
 
 def cawt_monitor(thresholds: Dict[str, float],

@@ -69,13 +69,15 @@ class _PointMonitor(SafetyMonitor):
                               triggered=(self.name.lower(),))
 
     def _predict_rows(self, features: np.ndarray) -> np.ndarray:
-        """Per-row class predictions for one ``(n_steps, D)`` column.
+        """Per-row class predictions for an ``(n_rows, D)`` feature stack.
 
         Default: one ``predict`` call per row — the exact call pattern of
         :meth:`observe`, so any model is bit-identical to the scalar path
         by construction (a whole-matrix BLAS matmul is *not*: its
         rounding depends on the batch shape).  Models whose ``predict``
-        is batch-size invariant override with a single call.
+        is batch-size invariant override with a single call.  Rows are
+        independent, so callers may stack any number of columns into one
+        matrix without changing a single prediction.
         """
         out = np.empty(len(features), dtype=int)
         for i in range(len(features)):
@@ -83,25 +85,24 @@ class _PointMonitor(SafetyMonitor):
         return out
 
     def observe_batch(self, batch) -> Tuple[np.ndarray, np.ndarray]:
-        """Vectorized :meth:`observe` over a context batch: per-column
-        feature matrices straight from the shared context stack, hazard
-        inference as array arithmetic, predictions via
-        :meth:`_predict_rows`."""
+        """Vectorized :meth:`observe` over a context batch: every column's
+        feature matrix stacked into one row-major call to
+        :meth:`_predict_rows` (column b occupies row block b, the same
+        per-row evaluations as a column loop in the same order — rows are
+        independent, so wide live batches like the online service's
+        ``(1, n_users)`` tick cost one call, not ``n_users`` Python
+        iterations), hazard inference as array arithmetic."""
         n_steps, n_cols = batch.shape
-        alerts = np.zeros((n_steps, n_cols), dtype=bool)
-        hazards = np.zeros((n_steps, n_cols), dtype=int)
+        stacked = np.ascontiguousarray(
+            np.moveaxis(batch.features, 2, 0)).reshape(n_steps * n_cols, -1)
+        prediction = self._predict_rows(stacked).reshape(n_cols, n_steps).T
+        alerts = prediction != 0
         h1, h2 = int(HazardType.H1), int(HazardType.H2)
-        for b in range(n_cols):
-            prediction = self._predict_rows(batch.column_features(b))
-            alert = prediction != 0
-            if self.multiclass:
-                hazard = np.where(alert, prediction, 0)
-            else:
-                hazard = np.where(
-                    alert, np.where(batch.bg[:, b] < self.bg_target, h1, h2),
-                    0)
-            alerts[:, b] = alert
-            hazards[:, b] = hazard
+        if self.multiclass:
+            hazards = np.where(alerts, prediction, 0)
+        else:
+            hazards = np.where(
+                alerts, np.where(batch.bg < self.bg_target, h1, h2), 0)
         return alerts, hazards
 
 

@@ -135,6 +135,51 @@ class _BaseClassifier:
             p[...] = best
         return self
 
+    # persistence --------------------------------------------------------
+    def export_params(self) -> List[np.ndarray]:
+        """Flat list of fitted arrays: scaler mean, scaler std, then every
+        layer parameter in forward order — the layout
+        :func:`repro.ml.training.monitor_state` compares and the serving
+        registry persists."""
+        if not self.layers:
+            raise RuntimeError("model is not fitted")
+        params = [self.scaler.mean, self.scaler.std]
+        for layer in self.layers:
+            params.extend(layer.params)
+        return params
+
+    def load_params(self, in_shape: Tuple[int, ...],
+                    params: Sequence[np.ndarray]) -> "_BaseClassifier":
+        """Rebuild a fitted model from :meth:`export_params` output.
+
+        Builds the layer stack for *in_shape* (the post-scaling feature
+        shape ``X.shape[1:]`` seen by :meth:`fit`), then copies every
+        array into place with strict count/shape checks — the inverse of
+        :meth:`export_params`, so a round-tripped model predicts
+        bit-identically to the original.
+        """
+        params = [np.asarray(p, dtype=float) for p in params]
+        if len(params) < 2:
+            raise ValueError("need at least scaler mean and std")
+        self.scaler.mean = params[0]
+        self.scaler.std = params[1]
+        self._build(tuple(in_shape))
+        targets: List[np.ndarray] = []
+        for layer in self.layers:
+            targets.extend(layer.params)
+        saved = params[2:]
+        if len(saved) != len(targets):
+            raise ValueError(
+                f"parameter count mismatch: saved {len(saved)}, model "
+                f"expects {len(targets)}")
+        for target, value in zip(targets, saved):
+            if target.shape != value.shape:
+                raise ValueError(
+                    f"parameter shape mismatch: saved {value.shape}, model "
+                    f"expects {target.shape}")
+            target[...] = value
+        return self
+
     # inference ----------------------------------------------------------
     def predict_proba(self, X) -> np.ndarray:
         if not self.layers:

@@ -248,6 +248,51 @@ class DecisionTreeClassifier:
         return (np.asarray(features), np.asarray(thresholds),
                 np.stack(counts))
 
+    @classmethod
+    def from_node_arrays(cls, features, thresholds, counts, classes,
+                         **hyperparams) -> "DecisionTreeClassifier":
+        """Rebuild a fitted tree from :meth:`node_arrays` output.
+
+        The inverse of the preorder flattening: interior nodes (feature
+        >= 0) take the next preorder node as their left child and the one
+        after their left subtree as the right, exactly like
+        :meth:`_flat_tree`.  ``from_node_arrays(*tree.node_arrays(),
+        tree.classes_)`` predicts bit-identically to ``tree`` — the
+        round-trip the serving registry relies on.
+        """
+        features = np.asarray(features, dtype=int)
+        thresholds = np.asarray(thresholds, dtype=float)
+        counts = np.asarray(counts)  # dtype preserved for exact round-trips
+        if not (len(features) == len(thresholds) == len(counts)):
+            raise ValueError("node array length mismatch")
+        if len(features) == 0:
+            raise ValueError("cannot rebuild a tree from zero nodes")
+        tree = cls(**hyperparams)
+        tree.classes_ = np.asarray(classes)
+        if counts.shape[1] != len(tree.classes_):
+            raise ValueError(
+                f"counts have {counts.shape[1]} classes, classes_ has "
+                f"{len(tree.classes_)}")
+        nodes = [_Node(feature=int(f), threshold=float(th), counts=c)
+                 for f, th, c in zip(features, thresholds, counts)]
+        stack = [nodes[0]] if features[0] >= 0 else []
+        for i in range(1, len(nodes)):
+            if not stack:
+                raise ValueError("malformed preorder: node without a parent")
+            parent = stack[-1]
+            if parent.left is None:
+                parent.left = nodes[i]
+            else:
+                parent.right = nodes[i]
+                stack.pop()
+            if features[i] >= 0:
+                stack.append(nodes[i])
+        if stack:
+            raise ValueError("malformed preorder: unclosed interior nodes")
+        tree._root = nodes[0]
+        tree.n_nodes_ = len(nodes)
+        return tree
+
     @property
     def depth_(self) -> int:
         def depth(node, d):

@@ -1,0 +1,33 @@
+"""Online monitor serving: registry, per-user context rings, tick-batched
+evaluation, alert dedup/escalation and a deterministic load generator.
+
+The production half of the reproduction: trained monitors load once from a
+:class:`MonitorRegistry` and evaluate every connected user per tick as one
+``ContextBatch`` column batch, with raw alert streams element-wise
+identical to offline :func:`~repro.simulation.replay.replay_campaign`
+(see :mod:`repro.serve.service` and ``docs/monitor_service.md``).
+"""
+
+from .alerts import AlertEvent, AlertManager, DEFAULT_DEDUP_WINDOW_MINUTES
+from .loadgen import LoadGenerator, LoadReport, run_load
+from .registry import MonitorRegistry, RegistryError
+from .ring import ContextRing
+from .service import (DEFAULT_WINDOW_TICKS, MonitorService, TickBatch,
+                      TickResult, replay_log)
+
+__all__ = [
+    "AlertEvent",
+    "AlertManager",
+    "DEFAULT_DEDUP_WINDOW_MINUTES",
+    "DEFAULT_WINDOW_TICKS",
+    "ContextRing",
+    "LoadGenerator",
+    "LoadReport",
+    "MonitorRegistry",
+    "MonitorService",
+    "RegistryError",
+    "TickBatch",
+    "TickResult",
+    "replay_log",
+    "run_load",
+]

@@ -1,0 +1,234 @@
+"""Persistent registry of trained monitors for the serving layer.
+
+Training is offline and expensive; serving must load the resulting
+monitor state **once** per process and share it read-only across every
+connected user.  :class:`MonitorRegistry` is that boundary: an ordered
+``name -> monitor`` collection that knows how to persist each supported
+monitor kind to a directory (JSON manifest + one ``.npz`` of arrays per
+array-bearing monitor) and rebuild it bit-identically:
+
+- **context-aware** (CAWT/CAWOT): learned thresholds + BGT, via the
+  :meth:`~repro.core.monitor.ContextAwareMonitor.export_state` hook;
+- **dt**: the preorder ``node_arrays`` flattening, rebuilt through
+  :meth:`~repro.ml.tree.DecisionTreeClassifier.from_node_arrays`;
+- **mlp** / **lstm**: scaler + layer parameters via the classifier's
+  ``export_params`` / ``load_params`` hooks, plus the architecture
+  hyperparameters needed to rebuild the layer stack;
+- **guideline** / **mpc**: pure constructor parameters (JSON only).
+
+Unsupported monitor types are refused loudly at :meth:`~MonitorRegistry.
+save` time — a monitor must never round-trip as an empty shell.  The
+round-trip is exact: a reloaded registry's verdicts are element-wise
+identical to the originals (the registry test suite checks this through
+:func:`repro.ml.training.monitor_state` equality and replayed alerts).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..baselines import GuidelineMonitor, MPCMonitor
+from ..core.monitor import ContextAwareMonitor, SafetyMonitor
+from ..ml.monitors import DTMonitor, LSTMMonitor, MLPMonitor
+from ..ml.nn import LSTMClassifier, MLPClassifier
+from ..ml.tree import DecisionTreeClassifier
+
+__all__ = ["MonitorRegistry", "RegistryError", "REGISTRY_SCHEMA_VERSION"]
+
+REGISTRY_SCHEMA_VERSION = 1
+MANIFEST_NAME = "registry.json"
+
+#: GuidelineMonitor / MPCMonitor constructor parameters persisted verbatim
+_GUIDELINE_PARAMS = ("bg_low", "bg_high", "delta_low", "delta_high",
+                     "lambda_10", "lambda_90", "alpha")
+_MPC_PARAMS = ("gezi", "egp", "si", "ci", "tau1", "tau2", "p2",
+               "horizon_steps", "bg_low", "bg_high", "dt")
+
+
+class RegistryError(RuntimeError):
+    """A monitor cannot be persisted or a saved registry is unreadable."""
+
+
+def _slug(name: str, taken) -> str:
+    base = re.sub(r"[^A-Za-z0-9_-]+", "_", name).strip("_") or "monitor"
+    slug = base
+    n = 2
+    while slug in taken:
+        slug = f"{base}_{n}"
+        n += 1
+    taken.add(slug)
+    return slug
+
+
+class MonitorRegistry:
+    """An ordered, read-only collection of named serving monitors."""
+
+    def __init__(self, monitors: Mapping[str, SafetyMonitor]):
+        if not monitors:
+            raise RegistryError("a registry needs at least one monitor")
+        self._monitors: Dict[str, SafetyMonitor] = dict(monitors)
+
+    # mapping surface ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._monitors)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._monitors)
+
+    def __getitem__(self, name: str) -> SafetyMonitor:
+        return self._monitors[name]
+
+    def items(self) -> Iterator[Tuple[str, SafetyMonitor]]:
+        return iter(self._monitors.items())
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._monitors)
+
+    def __repr__(self) -> str:
+        return f"MonitorRegistry({', '.join(self._monitors)})"
+
+    # persistence -------------------------------------------------------
+    def save(self, directory: str) -> None:
+        """Persist every monitor to *directory* (created if missing)."""
+        os.makedirs(directory, exist_ok=True)
+        taken: set = set()
+        entries = []
+        for name, monitor in self._monitors.items():
+            kind, config, arrays = _export(monitor)
+            arrays_file: Optional[str] = None
+            if arrays:
+                arrays_file = _slug(name, taken) + ".npz"
+                np.savez(os.path.join(directory, arrays_file), **arrays)
+            entries.append({"name": name, "kind": kind, "config": config,
+                            "arrays": arrays_file})
+        manifest = {"schema": REGISTRY_SCHEMA_VERSION, "monitors": entries}
+        path = os.path.join(directory, MANIFEST_NAME)
+        with open(path + ".tmp", "w") as fh:
+            json.dump(manifest, fh, indent=1, sort_keys=True)
+        os.replace(path + ".tmp", path)
+
+    @classmethod
+    def load(cls, directory: str) -> "MonitorRegistry":
+        """Rebuild a saved registry; every monitor loads exactly once."""
+        path = os.path.join(directory, MANIFEST_NAME)
+        if not os.path.isfile(path):
+            raise RegistryError(f"no registry manifest at {path}")
+        try:
+            with open(path) as fh:
+                manifest = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise RegistryError(f"unreadable registry manifest: {exc}") from exc
+        schema = manifest.get("schema")
+        if schema != REGISTRY_SCHEMA_VERSION:
+            raise RegistryError(
+                f"registry schema {schema!r} != {REGISTRY_SCHEMA_VERSION}")
+        monitors: Dict[str, SafetyMonitor] = {}
+        for entry in manifest.get("monitors", []):
+            arrays: Dict[str, np.ndarray] = {}
+            if entry.get("arrays"):
+                arrays_path = os.path.join(directory, entry["arrays"])
+                if not os.path.isfile(arrays_path):
+                    raise RegistryError(f"missing arrays file {arrays_path}")
+                with np.load(arrays_path) as data:
+                    arrays = {key: data[key] for key in data.files}
+            monitors[entry["name"]] = _rebuild(entry["kind"],
+                                               entry["config"], arrays)
+        return cls(monitors)
+
+
+# ----------------------------------------------------------------------
+# per-kind export / rebuild
+# ----------------------------------------------------------------------
+
+def _export(monitor: SafetyMonitor):
+    """``(kind, json_config, arrays)`` of one monitor; loud on unknowns."""
+    if isinstance(monitor, ContextAwareMonitor):
+        return "context-aware", monitor.export_state(), {}
+    if isinstance(monitor, GuidelineMonitor):
+        return "guideline", {p: getattr(monitor, p)
+                             for p in _GUIDELINE_PARAMS}, {}
+    if isinstance(monitor, MPCMonitor):
+        return "mpc", {p: getattr(monitor, p) for p in _MPC_PARAMS}, {}
+    if isinstance(monitor, DTMonitor):
+        features, thresholds, counts = monitor.model.node_arrays()
+        config = {"multiclass": monitor.multiclass,
+                  "bg_target": monitor.bg_target,
+                  "max_depth": monitor.model.max_depth,
+                  "min_samples_split": monitor.model.min_samples_split,
+                  "min_samples_leaf": monitor.model.min_samples_leaf,
+                  "max_thresholds": monitor.model.max_thresholds}
+        arrays = {"features": features, "thresholds": thresholds,
+                  "counts": counts, "classes": monitor.model.classes_}
+        return "dt", config, arrays
+    if isinstance(monitor, MLPMonitor):
+        model = monitor.model
+        config = {"multiclass": monitor.multiclass,
+                  "bg_target": monitor.bg_target,
+                  "hidden": list(model.hidden), "dropout": model.dropout,
+                  "n_classes": model.n_classes,
+                  "in_shape": [int(model.scaler.mean.shape[-1])]}
+        return "mlp", config, _param_arrays(model)
+    if isinstance(monitor, LSTMMonitor):
+        model = monitor.model
+        config = {"multiclass": monitor.multiclass,
+                  "bg_target": monitor.bg_target, "k": monitor.k,
+                  "hidden": list(model.hidden),
+                  "n_classes": model.n_classes,
+                  "in_shape": [monitor.k,
+                               int(model.scaler.mean.shape[-1])]}
+        return "lstm", config, _param_arrays(model)
+    raise RegistryError(
+        f"monitor {monitor.name!r} of type {type(monitor).__name__} has no "
+        "registry serialization; supported kinds: context-aware, "
+        "guideline, mpc, dt, mlp, lstm")
+
+
+def _param_arrays(model) -> Dict[str, np.ndarray]:
+    return {f"p{i}": p for i, p in enumerate(model.export_params())}
+
+
+def _load_params(arrays: Dict[str, np.ndarray]):
+    try:
+        return [arrays[f"p{i}"] for i in range(len(arrays))]
+    except KeyError as exc:
+        raise RegistryError(f"corrupt parameter arrays: missing {exc}") from exc
+
+
+def _rebuild(kind: str, config: Dict, arrays: Dict[str, np.ndarray]
+             ) -> SafetyMonitor:
+    if kind == "context-aware":
+        return ContextAwareMonitor.from_state(config)
+    if kind == "guideline":
+        return GuidelineMonitor(**{p: config[p] for p in _GUIDELINE_PARAMS})
+    if kind == "mpc":
+        return MPCMonitor(**{p: config[p] for p in _MPC_PARAMS})
+    if kind == "dt":
+        model = DecisionTreeClassifier.from_node_arrays(
+            arrays["features"], arrays["thresholds"], arrays["counts"],
+            arrays["classes"], max_depth=int(config["max_depth"]),
+            min_samples_split=int(config["min_samples_split"]),
+            min_samples_leaf=int(config["min_samples_leaf"]),
+            max_thresholds=int(config["max_thresholds"]))
+        return DTMonitor(model, multiclass=bool(config["multiclass"]),
+                         bg_target=float(config["bg_target"]))
+    if kind == "mlp":
+        model = MLPClassifier(hidden=tuple(config["hidden"]),
+                              n_classes=int(config["n_classes"]),
+                              dropout=float(config["dropout"]))
+        model.load_params(tuple(config["in_shape"]), _load_params(arrays))
+        return MLPMonitor(model, multiclass=bool(config["multiclass"]),
+                          bg_target=float(config["bg_target"]))
+    if kind == "lstm":
+        model = LSTMClassifier(hidden=tuple(config["hidden"]),
+                               n_classes=int(config["n_classes"]))
+        model.load_params(tuple(config["in_shape"]), _load_params(arrays))
+        return LSTMMonitor(model, k=int(config["k"]),
+                           multiclass=bool(config["multiclass"]),
+                           bg_target=float(config["bg_target"]))
+    raise RegistryError(f"unknown monitor kind {kind!r} in saved registry")

@@ -1,0 +1,336 @@
+"""The online monitor service: per-tick batched evaluation of live users.
+
+One :class:`MonitorService` holds the whole fleet: users connect, stream
+(CGM, IOB, command) ticks at the control cadence, and every tick is
+evaluated against every registry monitor **as one column batch** — the
+``(1, B)`` :class:`~repro.simulation.features.ContextBatch` shape the
+lock-step simulation engine already drives ``observe_batch`` with, so one
+process scales to 10^5+ users per tick instead of B Python loops.
+
+Monitor lifecycle mirrors :class:`repro.simulation.vector._MonitorBatch`:
+
+- **stateless** monitors (CAWT/CAWOT, DT, MLP) live once in the registry,
+  shared read-only, and see the whole fleet in one ``observe_batch`` call
+  per tick;
+- **stateful** monitors (Guideline, MPC, LSTM, custom) are
+  :meth:`~repro.core.monitor.SafetyMonitor.clone`-d per connected user at
+  connect time and driven through scalar ``observe``.
+
+**Parity contract.**  The service computes each user's BG rate from
+consecutive ticks — ``(cgm - previous_cgm) / dt``, zero on the user's
+first tick — which is float-for-float the backward difference
+:func:`~repro.simulation.features.context_matrix` computes offline.
+Everything downstream is the shared ``ContextBatch`` arithmetic, so
+feeding a recorded campaign through :func:`replay_log` (one trace = one
+user, via :func:`~repro.simulation.store.iter_trace_ticks`) produces raw
+alert streams **element-wise identical** to offline
+:func:`~repro.simulation.replay.replay_campaign` — the assertion CI's
+serving smoke makes at multiple batch sizes.  Dedup/escalation
+(:mod:`repro.serve.alerts`) is strictly downstream of the raw streams and
+never part of the parity surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.monitor import SafetyMonitor
+from ..simulation.features import ContextBatch, FEATURE_NAMES
+from ..simulation.store import iter_trace_ticks
+from .alerts import AlertEvent, AlertManager, DEFAULT_DEDUP_WINDOW_MINUTES
+from .registry import MonitorRegistry
+from .ring import ContextRing
+
+__all__ = ["TickBatch", "TickResult", "MonitorService", "replay_log",
+           "DEFAULT_WINDOW_TICKS"]
+
+#: ring-buffer context rows retained per user (2 hours at 5-minute cadence)
+DEFAULT_WINDOW_TICKS = 24
+
+#: ring row layout: time stamp, action code, then the feature row
+_RING_WIDTH = 2 + len(FEATURE_NAMES)
+
+
+@dataclass(frozen=True)
+class TickBatch:
+    """One ingest cycle: the raw channel vectors of every ticking user.
+
+    Exactly the wire format a streaming frontend would deliver — no
+    derived quantities (the service computes the BG rate itself, which is
+    what keeps it on the offline parity contract).  All arrays are
+    ``(B,)`` with ``B == len(user_ids)``.
+    """
+
+    t: float
+    user_ids: Tuple[Hashable, ...]
+    cgm: np.ndarray
+    iob: np.ndarray
+    iob_rate: np.ndarray
+    rate: np.ndarray
+    bolus: np.ndarray
+    action: np.ndarray
+
+    def __post_init__(self):
+        n = len(self.user_ids)
+        for name in ("cgm", "iob", "iob_rate", "rate", "bolus", "action"):
+            value = getattr(self, name)
+            if np.shape(value) != (n,):
+                raise ValueError(
+                    f"{name} must have shape ({n},) to match user_ids, "
+                    f"got {np.shape(value)}")
+
+
+@dataclass(frozen=True)
+class TickResult:
+    """Everything one :meth:`MonitorService.process` call produced.
+
+    ``alerts[name]`` / ``hazards[name]`` are the raw ``(B,)`` per-monitor
+    verdict vectors in ``user_ids`` order (the parity surface);
+    ``events`` are the post-dedup notifications that actually fired.
+    """
+
+    t: float
+    user_ids: Tuple[Hashable, ...]
+    alerts: Dict[str, np.ndarray]
+    hazards: Dict[str, np.ndarray]
+    events: List[AlertEvent] = field(default_factory=list)
+
+
+class MonitorService:
+    """Event-loop monitor evaluation over a fleet of streaming users.
+
+    Parameters
+    ----------
+    monitors:
+        A :class:`~repro.serve.registry.MonitorRegistry` or a plain
+        ``name -> monitor`` mapping (wrapped into one).  Loaded once,
+        shared read-only across all users.
+    dt:
+        Control period in minutes; every connected user ticks at this
+        cadence (the paper's loops run at 5).
+    window:
+        Context-history rows retained per user in the ring buffer.
+    dedup_window, escalate_after:
+        Alert notification policy, see :class:`~repro.serve.alerts.
+        AlertManager`.
+    """
+
+    def __init__(self, monitors: Union[MonitorRegistry,
+                                       Mapping[str, SafetyMonitor]],
+                 dt: float = 5.0, window: int = DEFAULT_WINDOW_TICKS,
+                 dedup_window: float = DEFAULT_DEDUP_WINDOW_MINUTES,
+                 escalate_after: Optional[int] = 24):
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if not isinstance(monitors, MonitorRegistry):
+            monitors = MonitorRegistry(monitors)
+        self.registry = monitors
+        self.dt = float(dt)
+        self.window = int(window)
+        self._stateless = [(name, monitor) for name, monitor
+                           in monitors.items() if monitor.stateless]
+        self._stateful = [(name, monitor) for name, monitor
+                          in monitors.items() if not monitor.stateless]
+        self.alert_manager = AlertManager(window=dedup_window,
+                                          escalate_after=escalate_after)
+        self._ring = ContextRing(self.window, _RING_WIDTH)
+        self._slots: Dict[Hashable, int] = {}
+        self._free: List[int] = []
+        self._last_cgm = np.zeros(0)
+        self._seen = np.zeros(0, dtype=bool)
+        #: per-stateful-monitor, per-slot clone (None on free slots)
+        self._clones: Dict[str, List[Optional[SafetyMonitor]]] = {
+            name: [] for name, _ in self._stateful}
+        self._ticks_processed = 0
+        # fleets usually tick with a stable user set; memoise the
+        # user_ids -> slots resolution on tuple identity
+        self._cached_ids: Optional[Tuple[Hashable, ...]] = None
+        self._cached_slots: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # fleet membership
+    # ------------------------------------------------------------------
+    @property
+    def n_users(self) -> int:
+        return len(self._slots)
+
+    @property
+    def ticks_processed(self) -> int:
+        return self._ticks_processed
+
+    def connect(self, user_id: Hashable) -> None:
+        """Register a user (idempotent); allocates its slot and per-user
+        stateful monitor clones."""
+        if user_id in self._slots:
+            return
+        if self._free:
+            slot = self._free.pop()
+            self._ring.clear_slot(slot)
+        else:
+            slot = len(self._slots) + len(self._free)
+            self._ring.ensure_slots(slot + 1)
+            self._grow_state(self._ring.n_slots)
+        self._slots[user_id] = slot
+        self._last_cgm[slot] = 0.0
+        self._seen[slot] = False
+        for name, monitor in self._stateful:
+            self._clones[name][slot] = monitor.clone()
+        self._cached_ids = None
+
+    def disconnect(self, user_id: Hashable) -> None:
+        """Drop a user: frees its slot, clones and alert streams."""
+        slot = self._slots.pop(user_id, None)
+        if slot is None:
+            raise KeyError(f"unknown user {user_id!r}")
+        self._free.append(slot)
+        for clones in self._clones.values():
+            clones[slot] = None
+        self.alert_manager.drop_user(user_id)
+        self._cached_ids = None
+
+    def _grow_state(self, n: int) -> None:
+        if n <= len(self._seen):
+            return
+        last_cgm = np.zeros(n)
+        last_cgm[:len(self._last_cgm)] = self._last_cgm
+        seen = np.zeros(n, dtype=bool)
+        seen[:len(self._seen)] = self._seen
+        self._last_cgm, self._seen = last_cgm, seen
+        for clones in self._clones.values():
+            clones.extend([None] * (n - len(clones)))
+
+    def _resolve_slots(self, user_ids: Tuple[Hashable, ...]) -> np.ndarray:
+        if user_ids is self._cached_ids:
+            return self._cached_slots
+        for user_id in user_ids:
+            if user_id not in self._slots:
+                self.connect(user_id)
+        if len(set(user_ids)) != len(user_ids):
+            raise ValueError("duplicate user ids in one tick")
+        slots = np.fromiter((self._slots[u] for u in user_ids),
+                            dtype=np.intp, count=len(user_ids))
+        self._cached_ids = user_ids
+        self._cached_slots = slots
+        return slots
+
+    # ------------------------------------------------------------------
+    # the tick hot path
+    # ------------------------------------------------------------------
+    def process(self, tick: TickBatch) -> TickResult:
+        """Evaluate one ingest cycle for every ticking user.
+
+        Unknown users auto-connect on first sight.  Users absent from the
+        tick simply don't advance (their next BG rate spans the gap).
+        """
+        slots = self._resolve_slots(tick.user_ids)
+        cgm = np.asarray(tick.cgm, dtype=float)
+        # the offline backward difference, computed live: zero on a
+        # user's first tick, (cgm - previous) / dt afterwards — identical
+        # float arithmetic to context_matrix, which is the parity anchor
+        bg_rate = np.where(self._seen[slots],
+                           (cgm - self._last_cgm[slots]) / self.dt, 0.0)
+        batch = ContextBatch.from_tick(
+            t=tick.t, bg=cgm, bg_rate=bg_rate, iob=tick.iob,
+            iob_rate=tick.iob_rate, rate=tick.rate, bolus=tick.bolus,
+            action=tick.action, dt=self.dt)
+
+        alerts: Dict[str, np.ndarray] = {}
+        hazards: Dict[str, np.ndarray] = {}
+        for name, monitor in self._stateless:
+            monitor_alerts, monitor_hazards = monitor.observe_batch(batch)
+            alerts[name] = monitor_alerts[0]
+            hazards[name] = monitor_hazards[0]
+        if self._stateful:
+            n_cols = batch.shape[1]
+            contexts = [next(batch.iter_column(b)) for b in range(n_cols)]
+            for name, _ in self._stateful:
+                clones = self._clones[name]
+                monitor_alerts = np.zeros(n_cols, dtype=bool)
+                monitor_hazards = np.zeros(n_cols, dtype=int)
+                for b, slot in enumerate(slots):
+                    verdict = clones[slot].observe(contexts[b])
+                    if verdict.alert:
+                        monitor_alerts[b] = True
+                        monitor_hazards[b] = int(verdict.hazard)
+                alerts[name] = monitor_alerts
+                hazards[name] = monitor_hazards
+
+        rows = np.concatenate([batch.t, tick.action.reshape(1, -1).astype(float),
+                               batch.features[0]], axis=0)
+        self._ring.append(rows, slots)
+        self._last_cgm[slots] = cgm
+        self._seen[slots] = True
+
+        events: List[AlertEvent] = []
+        for name in alerts:
+            events.extend(self.alert_manager.observe_tick(
+                tick.t, name, tick.user_ids, alerts[name], hazards[name]))
+        self._ticks_processed += 1
+        return TickResult(t=tick.t, user_ids=tick.user_ids, alerts=alerts,
+                          hazards=hazards, events=events)
+
+    # ------------------------------------------------------------------
+    # per-user introspection
+    # ------------------------------------------------------------------
+    def context_window(self, user_id: Hashable) -> ContextBatch:
+        """The user's retained context history as a ``(m, 1)`` batch.
+
+        Rebuilt from the ring buffer by folding single-cycle batches
+        through :meth:`~repro.simulation.features.ContextBatch.append` —
+        the incremental form of ``from_traces``, so the rows are exactly
+        what the monitors saw.
+        """
+        slot = self._slots.get(user_id)
+        if slot is None:
+            raise KeyError(f"unknown user {user_id!r}")
+        rows = self._ring.window(slot)
+        if len(rows) == 0:
+            raise ValueError(f"user {user_id!r} has no ticks yet")
+        window: Optional[ContextBatch] = None
+        for row in rows:
+            one = ContextBatch.from_tick(
+                t=float(row[0]), bg=row[2:3], bg_rate=row[3:4],
+                iob=row[4:5], iob_rate=row[5:6], rate=row[6:7],
+                bolus=row[7:8], action=np.array([int(row[1])]), dt=self.dt)
+            window = one if window is None else window.append(one)
+        return window
+
+
+def replay_log(monitors: Union[MonitorRegistry, Mapping[str, SafetyMonitor]],
+               traces: Sequence, window: int = DEFAULT_WINDOW_TICKS
+               ) -> Dict[str, List[np.ndarray]]:
+    """Feed a recorded campaign through a fresh service, trace = user.
+
+    The replay-from-log driver: adapts *traces* into the live tick stream
+    (:func:`~repro.simulation.store.iter_trace_ticks`), processes every
+    tick, and reassembles per-trace raw alert streams in
+    :func:`~repro.simulation.replay.replay_campaign` format (``name ->
+    [per-trace boolean alert array]``) — so offline and served replay are
+    directly comparable, and CI asserts them element-wise identical.
+    """
+    traces = list(traces)
+    if not traces:
+        raise ValueError("cannot replay zero traces")
+    dts = {float(trace.dt) for trace in traces}
+    if len(dts) != 1:
+        raise ValueError(f"traces must share one control period, got "
+                         f"{sorted(dts)}")
+    service = MonitorService(monitors, dt=dts.pop(), window=window)
+    user_ids = tuple(f"trace-{i}" for i in range(len(traces)))
+    per_tick: Dict[str, List[np.ndarray]] = {name: [] for name
+                                             in service.registry.names}
+    for trace_tick in iter_trace_ticks(traces):
+        tick = TickBatch(t=trace_tick.t, user_ids=user_ids,
+                         cgm=trace_tick.cgm, iob=trace_tick.iob,
+                         iob_rate=trace_tick.iob_rate, rate=trace_tick.rate,
+                         bolus=trace_tick.bolus, action=trace_tick.action)
+        result = service.process(tick)
+        for name, flags in result.alerts.items():
+            per_tick[name].append(flags)
+    return {name: list(np.stack(columns, axis=0).T)
+            for name, columns in per_tick.items()}

@@ -47,7 +47,7 @@ __all__ = [
     "SCHEMA_VERSION", "MANIFEST_NAME", "CampaignStoreError",
     "campaign_fingerprint", "plan_fingerprint", "CampaignStoreWriter",
     "DatasetStats", "TraceDataset", "TraceDatasetView", "open_dataset",
-    "manifest_path",
+    "manifest_path", "TraceTick", "iter_trace_ticks",
 ]
 
 #: bump when the manifest layout, the shard payload schema, or the
@@ -523,3 +523,71 @@ def open_dataset(directory: str,
                  cache_size: int = DEFAULT_CACHE_SIZE) -> TraceDataset:
     """Convenience alias for :meth:`TraceDataset.open`."""
     return TraceDataset.open(directory, cache_size=cache_size)
+
+
+# ----------------------------------------------------------------------
+# trace -> tick-stream adapter (recorded campaign as live traffic)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TraceTick:
+    """One lock-step cycle of a recorded campaign, viewed as live traffic.
+
+    The raw per-user channel vectors (shape ``(B,)``, one entry per
+    trace-as-user) a streaming ingest would deliver at this cycle: the
+    clean CGM reading, the loop-side IOB estimates and the
+    post-fault-injection command.  Deliberately *excludes* the BG rate —
+    a live service never receives finite differences on the wire, it
+    computes them from consecutive ticks, which is exactly what
+    :class:`repro.serve.MonitorService` does (and what the serving parity
+    contract checks against :func:`~repro.simulation.features.
+    context_matrix`).
+    """
+
+    step: int
+    t: float
+    cgm: np.ndarray
+    iob: np.ndarray
+    iob_rate: np.ndarray
+    rate: np.ndarray
+    bolus: np.ndarray
+    action: np.ndarray
+
+
+def iter_trace_ticks(traces) -> Iterable[TraceTick]:
+    """Yield a recorded campaign as a lock-step tick stream.
+
+    Adapts a sequence of equal-length, equal-cadence traces (a
+    :class:`TraceDataset`, a list — anything indexable) into the per-cycle
+    column vectors an online service ingests: tick ``s`` carries
+    ``trace.cgm[s]`` etc. of every trace, stacked in input order.  This is
+    the replay-from-log bridge between recorded campaign stores and
+    :meth:`repro.serve.MonitorService.process`.
+
+    Raises ``ValueError`` on zero traces, ragged lengths, or traces that
+    disagree on the time grid (lock-step ingestion needs one shared
+    clock).
+    """
+    traces = list(traces)
+    if not traces:
+        raise ValueError("cannot stream ticks from zero traces")
+    lengths = {len(trace) for trace in traces}
+    if len(lengths) != 1:
+        raise ValueError(
+            f"all traces in a tick stream must share one length, got "
+            f"{sorted(lengths)}")
+    t_grid = traces[0].t
+    for trace in traces[1:]:
+        if not np.array_equal(trace.t, t_grid):
+            raise ValueError(
+                "traces disagree on the time grid; a lock-step tick "
+                "stream needs one shared clock")
+    channels = [np.stack([getattr(trace, field) for trace in traces], axis=1)
+                for field in ("cgm", "iob", "iob_rate", "cmd_rate",
+                              "cmd_bolus", "action")]
+    cgm, iob, iob_rate, rate, bolus, action = channels
+    for step in range(int(lengths.pop())):
+        yield TraceTick(step=step, t=float(t_grid[step]), cgm=cgm[step],
+                        iob=iob[step], iob_rate=iob_rate[step],
+                        rate=rate[step], bolus=bolus[step],
+                        action=action[step])

@@ -362,9 +362,9 @@ class _MonitorBatch:
             if monitor.stateless:
                 grouped.setdefault(id(monitor), (monitor, []))[1].append(b)
             else:
-                clone = copy.deepcopy(monitor)
-                clone.reset()  # the scalar loop's run-start reset
-                self.columns.append((b, clone))
+                # SafetyMonitor.clone() is the scalar loop's run-start
+                # reset-deepcopy, shared with the serving layer
+                self.columns.append((b, monitor.clone()))
         self.groups: List[Tuple[SafetyMonitor, np.ndarray]] = []
         for monitor, rows in grouped.values():
             monitor.reset()

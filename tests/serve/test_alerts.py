@@ -1,0 +1,166 @@
+"""AlertManager: dedup window boundaries, escalation, stream isolation."""
+
+import numpy as np
+import pytest
+
+from repro.serve import AlertManager
+
+
+H1, H2 = 1, 2
+
+
+def manager(**kwargs):
+    kwargs.setdefault("window", 120.0)
+    kwargs.setdefault("escalate_after", None)
+    return AlertManager(**kwargs)
+
+
+class TestValidation:
+    def test_bad_window(self):
+        with pytest.raises(ValueError, match="window"):
+            AlertManager(window=0.0)
+
+    def test_bad_escalate_after(self):
+        with pytest.raises(ValueError, match="escalate_after"):
+            AlertManager(escalate_after=1)
+
+
+class TestDedupWindow:
+    def test_first_alert_emits(self):
+        m = manager()
+        event = m.observe(0.0, "u", "CAWT", True, H1)
+        assert event is not None
+        assert (event.user_id, event.monitor, event.hazard) == ("u", "CAWT", H1)
+        assert event.suppressed == 0 and not event.escalated
+
+    def test_repeat_inside_window_suppressed(self):
+        m = manager()
+        assert m.observe(0.0, "u", "CAWT", True, H1) is not None
+        for t in (5.0, 60.0, 115.0):
+            assert m.observe(t, "u", "CAWT", True, H1) is None
+
+    def test_exactly_at_window_emits(self):
+        m = manager(window=120.0)
+        assert m.observe(0.0, "u", "CAWT", True, H1) is not None
+        assert m.observe(119.9, "u", "CAWT", True, H1) is None
+        event = m.observe(120.0, "u", "CAWT", True, H1)
+        assert event is not None
+        assert event.suppressed == 1  # the 119.9 repeat was deduped
+
+    def test_suppressed_count_rides_on_reemission(self):
+        m = manager(window=120.0)
+        m.observe(0.0, "u", "CAWT", True, H1)
+        for t in (5.0, 10.0, 15.0):
+            m.observe(t, "u", "CAWT", True, H1)
+        event = m.observe(120.0, "u", "CAWT", True, H1)
+        assert event.suppressed == 3
+        # and the counter resets after the emission
+        event2 = m.observe(240.0, "u", "CAWT", True, H1)
+        assert event2.suppressed == 0
+
+    def test_window_timer_survives_silent_gaps(self):
+        """Dedup is wall-clock: silence does not reopen the window."""
+        m = manager(window=120.0)
+        m.observe(0.0, "u", "CAWT", True, H1)
+        assert m.observe(5.0, "u", "CAWT", False, 0) is None
+        assert m.observe(60.0, "u", "CAWT", True, H1) is None  # still inside
+
+    def test_hazard_change_bypasses_dedup(self):
+        m = manager(window=120.0)
+        m.observe(0.0, "u", "CAWT", True, H1)
+        event = m.observe(5.0, "u", "CAWT", True, H2)
+        assert event is not None and event.hazard == H2
+        # ... and the new hazard starts its own window
+        assert m.observe(10.0, "u", "CAWT", True, H2) is None
+
+
+class TestStreamIsolation:
+    def test_interleaved_users_dedup_independently(self):
+        m = manager(window=120.0)
+        assert m.observe(0.0, "a", "CAWT", True, H1) is not None
+        assert m.observe(0.0, "b", "CAWT", True, H1) is not None
+        # a's repeat suppressed; b silent; then b's repeat also suppressed
+        assert m.observe(5.0, "a", "CAWT", True, H1) is None
+        assert m.observe(5.0, "b", "CAWT", False, 0) is None
+        assert m.observe(10.0, "b", "CAWT", True, H1) is None
+        # windows expire per user
+        assert m.observe(120.0, "a", "CAWT", True, H1) is not None
+        assert m.observe(120.0, "b", "CAWT", True, H1) is not None
+
+    def test_monitors_dedup_independently(self):
+        m = manager()
+        assert m.observe(0.0, "u", "CAWT", True, H1) is not None
+        assert m.observe(0.0, "u", "DT", True, H1) is not None
+        assert m.n_streams == 2
+
+    def test_drop_user_forgets_streams(self):
+        m = manager()
+        m.observe(0.0, "u", "CAWT", True, H1)
+        m.observe(0.0, "v", "CAWT", True, H1)
+        m.drop_user("u")
+        assert m.n_streams == 1
+        # a re-connected user alerts fresh, no window carried over
+        assert m.observe(5.0, "u", "CAWT", True, H1) is not None
+
+
+class TestEscalation:
+    def test_streak_escalates_once_per_window(self):
+        m = manager(window=120.0, escalate_after=3)
+        m.observe(0.0, "u", "CAWT", True, H1)
+        assert m.observe(5.0, "u", "CAWT", True, H1) is None   # streak 2
+        assert m.observe(10.0, "u", "CAWT", True, H1) is None  # streak since 2
+        event = m.observe(15.0, "u", "CAWT", True, H1)         # streak since 3
+        assert event is not None and event.escalated
+        assert event.suppressed == 2
+        # no second escalation inside the same window
+        for t in (20.0, 25.0, 30.0, 35.0):
+            assert m.observe(t, "u", "CAWT", True, H1) is None
+
+    def test_silent_tick_breaks_the_streak(self):
+        m = manager(window=120.0, escalate_after=3)
+        m.observe(0.0, "u", "CAWT", True, H1)
+        m.observe(5.0, "u", "CAWT", True, H1)
+        m.observe(10.0, "u", "CAWT", False, 0)
+        # streak restarted: two more alerts stay below the threshold
+        assert m.observe(15.0, "u", "CAWT", True, H1) is None
+        assert m.observe(20.0, "u", "CAWT", True, H1) is None
+        event = m.observe(25.0, "u", "CAWT", True, H1)
+        assert event is not None and event.escalated
+
+    def test_escalation_disabled(self):
+        m = manager(escalate_after=None)
+        m.observe(0.0, "u", "CAWT", True, H1)
+        for step in range(1, 20):
+            assert m.observe(step * 5.0, "u", "CAWT", True, H1) is None
+
+
+class TestBulkTick:
+    def test_observe_tick_equals_scalar_observe(self):
+        rng = np.random.default_rng(3)
+        users = tuple(f"u{i}" for i in range(8))
+        bulk = AlertManager(window=30.0, escalate_after=3)
+        scalar = AlertManager(window=30.0, escalate_after=3)
+        for step in range(40):
+            t = step * 5.0
+            alerts = rng.random(8) < 0.4
+            hazards = np.where(rng.random(8) < 0.5, H1, H2) * alerts
+            bulk_events = bulk.observe_tick(t, "CAWT", users, alerts, hazards)
+            scalar_events = [
+                event for j, user in enumerate(users)
+                for event in [scalar.observe(t, user, "CAWT",
+                                             bool(alerts[j]),
+                                             int(hazards[j]))]
+                if event is not None]
+            assert bulk_events == scalar_events
+
+    def test_absent_user_keeps_its_streak(self):
+        m = AlertManager(window=1000.0, escalate_after=3)
+        m.observe_tick(0.0, "CAWT", ("a",), np.array([True]), np.array([H1]))
+        for t in (5.0, 10.0):  # two suppressed alerts after the emission
+            m.observe_tick(t, "CAWT", ("a",), np.array([True]),
+                           np.array([H1]))
+        # a tick without user "a" at all: streak must NOT reset
+        m.observe_tick(15.0, "CAWT", ("b",), np.array([False]), np.array([0]))
+        events = m.observe_tick(20.0, "CAWT", ("a",), np.array([True]),
+                                np.array([H1]))
+        assert len(events) == 1 and events[0].escalated

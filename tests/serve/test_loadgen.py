@@ -1,0 +1,65 @@
+"""Load generator: determinism in the seed, report plausibility."""
+
+import numpy as np
+import pytest
+
+from repro.core import cawot_monitor
+from repro.serve import LoadGenerator, MonitorService, run_load
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = LoadGenerator(50, seed=7)
+        b = LoadGenerator(50, seed=7)
+        for _ in range(5):
+            tick_a, tick_b = a.tick(), b.tick()
+            assert tick_a.t == tick_b.t
+            assert tick_a.user_ids == tick_b.user_ids
+            for field in ("cgm", "iob", "iob_rate", "rate", "bolus",
+                          "action"):
+                np.testing.assert_array_equal(getattr(tick_a, field),
+                                              getattr(tick_b, field))
+
+    def test_different_seed_different_stream(self):
+        a = LoadGenerator(50, seed=7).tick()
+        b = LoadGenerator(50, seed=8).tick()
+        assert not np.array_equal(a.cgm, b.cgm)
+
+    def test_service_results_are_seed_deterministic(self):
+        results = []
+        for _ in range(2):
+            service = MonitorService({"CAWOT": cawot_monitor()})
+            report = run_load(service, n_users=200, n_ticks=6, seed=3)
+            results.append((report.n_raw_alerts, report.n_events))
+        assert results[0] == results[1]
+
+
+class TestReport:
+    def test_report_fields_are_plausible(self):
+        service = MonitorService({"CAWOT": cawot_monitor()})
+        report = run_load(service, n_users=100, n_ticks=5, seed=0)
+        assert report.n_users == 100 and report.n_ticks == 5
+        assert report.service_seconds > 0
+        assert report.users_per_sec > 0
+        assert 0 <= report.p50_tick_ms <= report.p99_tick_ms \
+            <= report.max_tick_ms
+        assert report.n_events <= report.n_raw_alerts
+        assert "user-ticks/s" in report.summary()
+        # warmup + timed ticks all reached the service
+        assert service.ticks_processed == 6
+
+    def test_ticks_are_plausible_glucose(self):
+        generator = LoadGenerator(500, seed=1)
+        for _ in range(10):
+            tick = generator.tick()
+        assert tick.cgm.min() > 20.0 and tick.cgm.max() < 400.0
+        assert (tick.iob >= 0.0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_users"):
+            LoadGenerator(0)
+        service = MonitorService({"CAWOT": cawot_monitor()})
+        with pytest.raises(ValueError, match="n_ticks"):
+            run_load(service, 10, 0)
+        with pytest.raises(ValueError, match="warmup"):
+            run_load(service, 10, 1, warmup_ticks=-1)

@@ -1,0 +1,126 @@
+"""ContextRing: vectorized appends, wraparound, slot independence."""
+
+import numpy as np
+import pytest
+
+from repro.serve import ContextRing
+
+
+def _row(value, width=3):
+    return np.full(width, float(value))
+
+
+class TestValidation:
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ContextRing(0, 3)
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError, match="width"):
+            ContextRing(4, 0)
+
+    def test_bad_slots(self):
+        with pytest.raises(ValueError, match="n_slots"):
+            ContextRing(4, 3, n_slots=-1)
+
+    def test_append_shape_mismatch(self):
+        ring = ContextRing(4, 3, n_slots=2)
+        with pytest.raises(ValueError, match="rows must be"):
+            ring.append(np.zeros((2, 2)), np.array([0, 1]))
+
+    def test_append_duplicate_slots(self):
+        ring = ContextRing(4, 3, n_slots=2)
+        with pytest.raises(ValueError, match="duplicate"):
+            ring.append(np.zeros((3, 2)), np.array([1, 1]))
+
+    def test_last_on_empty_slot(self):
+        ring = ContextRing(4, 3, n_slots=1)
+        with pytest.raises(ValueError, match="no rows"):
+            ring.last(0)
+
+
+class TestAppendWindow:
+    def test_partial_fill_is_chronological(self):
+        ring = ContextRing(capacity=4, width=3, n_slots=1)
+        for i in range(3):
+            ring.append(_row(i).reshape(3, 1), np.array([0]))
+        window = ring.window(0)
+        assert window.shape == (3, 3)
+        assert list(window[:, 0]) == [0.0, 1.0, 2.0]
+        assert ring.count(0) == 3
+        assert list(ring.last(0)) == [2.0, 2.0, 2.0]
+
+    def test_wraparound_keeps_newest_rows_in_order(self):
+        ring = ContextRing(capacity=4, width=2, n_slots=1)
+        for i in range(10):
+            ring.append(np.full((2, 1), float(i)), np.array([0]))
+        window = ring.window(0)
+        assert window.shape == (4, 2)
+        # rows 6..9 survive, oldest first, across the physical wrap
+        assert list(window[:, 0]) == [6.0, 7.0, 8.0, 9.0]
+        assert ring.count(0) == 4
+
+    def test_exactly_full_boundary(self):
+        ring = ContextRing(capacity=3, width=1, n_slots=1)
+        for i in range(3):
+            ring.append(np.array([[float(i)]]), np.array([0]))
+        assert list(ring.window(0)[:, 0]) == [0.0, 1.0, 2.0]
+        ring.append(np.array([[3.0]]), np.array([0]))
+        assert list(ring.window(0)[:, 0]) == [1.0, 2.0, 3.0]
+
+    def test_slots_are_independent(self):
+        ring = ContextRing(capacity=3, width=1, n_slots=3)
+        # interleave appends: slot 0 gets 5 rows, slot 2 gets 2, slot 1 none
+        for i in range(5):
+            ring.append(np.array([[float(10 + i)]]), np.array([0]))
+            if i < 2:
+                ring.append(np.array([[float(20 + i)]]), np.array([2]))
+        assert list(ring.window(0)[:, 0]) == [12.0, 13.0, 14.0]
+        assert list(ring.window(2)[:, 0]) == [20.0, 21.0]
+        assert ring.window(1).shape == (0, 1)
+        assert ring.count(1) == 0
+
+    def test_vectorized_append_matches_scalar(self):
+        """One multi-slot scatter == the per-slot appends, bit for bit."""
+        rng = np.random.default_rng(7)
+        batched = ContextRing(capacity=5, width=4, n_slots=6)
+        serial = ContextRing(capacity=5, width=4, n_slots=6)
+        for _ in range(12):
+            rows = rng.normal(size=(4, 6))
+            batched.append(rows, np.arange(6))
+            for slot in range(6):
+                serial.append(rows[:, slot:slot + 1], np.array([slot]))
+        for slot in range(6):
+            np.testing.assert_array_equal(batched.window(slot),
+                                          serial.window(slot))
+
+    def test_window_is_a_copy(self):
+        ring = ContextRing(capacity=2, width=1, n_slots=1)
+        ring.append(np.array([[1.0]]), np.array([0]))
+        window = ring.window(0)
+        window[0, 0] = 99.0
+        assert ring.window(0)[0, 0] == 1.0
+
+
+class TestGrowClear:
+    def test_ensure_slots_preserves_data(self):
+        ring = ContextRing(capacity=3, width=2, n_slots=1)
+        ring.append(np.array([[1.0], [2.0]]), np.array([0]))
+        ring.ensure_slots(40)
+        assert ring.n_slots >= 40
+        assert list(ring.window(0)[0]) == [1.0, 2.0]
+        ring.append(np.array([[5.0], [6.0]]), np.array([39]))
+        assert list(ring.window(39)[0]) == [5.0, 6.0]
+
+    def test_ensure_slots_never_shrinks(self):
+        ring = ContextRing(capacity=3, width=2, n_slots=8)
+        ring.ensure_slots(2)
+        assert ring.n_slots == 8
+
+    def test_clear_slot_resets_only_that_slot(self):
+        ring = ContextRing(capacity=2, width=1, n_slots=2)
+        ring.append(np.array([[1.0]]), np.array([0]))
+        ring.append(np.array([[2.0]]), np.array([1]))
+        ring.clear_slot(0)
+        assert ring.count(0) == 0
+        assert list(ring.window(1)[:, 0]) == [2.0]

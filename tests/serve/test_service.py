@@ -1,0 +1,223 @@
+"""MonitorService: offline parity, fleet membership, context windows."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GuidelineMonitor
+from repro.core import cawot_monitor, cawt_monitor
+from repro.serve import (MonitorService, MonitorRegistry, TickBatch,
+                         replay_log)
+from repro.simulation import (ContextBatch, iter_trace_ticks,
+                              replay_campaign)
+
+
+def _monitors():
+    return {"CAWT": cawt_monitor({"beta1": 75.0}),
+            "CAWOT": cawot_monitor(),
+            "Guideline": GuidelineMonitor()}
+
+
+def _tick(t, user_ids, bg, **overrides):
+    n = len(user_ids)
+    fields = dict(cgm=np.asarray(bg, dtype=float), iob=np.full(n, 1.0),
+                  iob_rate=np.zeros(n), rate=np.full(n, 1.2),
+                  bolus=np.zeros(n), action=np.full(n, 4))
+    fields.update(overrides)
+    return TickBatch(t=t, user_ids=tuple(user_ids), **fields)
+
+
+class TestReplayParity:
+    """The tentpole contract: served streams == offline replay_campaign."""
+
+    def test_raw_alert_streams_identical_to_offline(
+            self, tiny_campaign_traces):
+        traces = tiny_campaign_traces[:12]
+        monitors = _monitors()
+        offline = replay_campaign(monitors, traces)
+        served = replay_log(monitors, traces)
+        assert set(served) == set(offline)
+        for name in monitors:
+            assert len(served[name]) == len(traces)
+            for a, b in zip(offline[name], served[name]):
+                np.testing.assert_array_equal(a, b)
+
+    def test_two_service_runs_are_identical(self, tiny_campaign_traces):
+        traces = tiny_campaign_traces[:6]
+        first = replay_log(_monitors(), traces)
+        second = replay_log(_monitors(), traces)
+        for name in first:
+            for a, b in zip(first[name], second[name]):
+                np.testing.assert_array_equal(a, b)
+
+    def test_replay_log_validates_input(self, tiny_campaign_traces):
+        with pytest.raises(ValueError, match="zero traces"):
+            replay_log(_monitors(), [])
+
+    def test_tick_stream_requires_lockstep(self, tiny_campaign_traces):
+        trace = tiny_campaign_traces[0]
+        with pytest.raises(ValueError, match="zero traces"):
+            list(iter_trace_ticks([]))
+        import dataclasses
+        shifted = dataclasses.replace(trace, t=trace.t + 5.0)
+        with pytest.raises(ValueError, match="time grid"):
+            list(iter_trace_ticks([trace, shifted]))
+
+
+class TestFleetMembership:
+    def test_connect_is_idempotent_and_autoconnect_works(self):
+        service = MonitorService(_monitors())
+        service.connect("a")
+        service.connect("a")
+        assert service.n_users == 1
+        service.process(_tick(0.0, ("a", "b"), [120.0, 130.0]))
+        assert service.n_users == 2
+
+    def test_duplicate_users_in_one_tick_rejected(self):
+        service = MonitorService(_monitors())
+        with pytest.raises(ValueError, match="duplicate user"):
+            service.process(_tick(0.0, ("a", "a"), [120.0, 120.0]))
+
+    def test_disconnect_frees_and_recycles_slots(self):
+        service = MonitorService(_monitors())
+        service.process(_tick(0.0, ("a", "b"), [120.0, 130.0]))
+        service.disconnect("a")
+        assert service.n_users == 1
+        with pytest.raises(KeyError):
+            service.disconnect("a")
+        # the recycled slot must not leak the old user's history
+        service.process(_tick(5.0, ("c",), [200.0]))
+        window = service.context_window("c")
+        assert window.shape == (1, 1)
+        assert window.bg[0, 0] == 200.0
+        assert window.bg_rate[0, 0] == 0.0  # fresh user: no rate yet
+
+    def test_midstream_join_gets_zero_first_rate(self):
+        service = MonitorService(_monitors())
+        service.process(_tick(0.0, ("a",), [120.0]))
+        result = service.process(_tick(5.0, ("a", "b"), [130.0, 180.0]))
+        window_a = service.context_window("a")
+        window_b = service.context_window("b")
+        assert window_a.bg_rate[1, 0] == (130.0 - 120.0) / 5.0
+        assert window_b.bg_rate[0, 0] == 0.0
+        assert result.user_ids == ("a", "b")
+
+    def test_skipped_tick_rate_spans_the_gap(self):
+        service = MonitorService(_monitors())
+        service.process(_tick(0.0, ("a", "b"), [120.0, 120.0]))
+        service.process(_tick(5.0, ("a",), [125.0]))
+        service.process(_tick(10.0, ("a", "b"), [125.0, 150.0]))
+        window_b = service.context_window("b")
+        # b missed the middle tick: its rate is computed from its own
+        # previous sample, not the fleet's
+        assert window_b.bg_rate[1, 0] == (150.0 - 120.0) / 5.0
+
+
+class TestPerUserState:
+    def test_stateful_monitors_do_not_leak_across_users(self):
+        """One user's phi3 excursion timer must not fire for another."""
+        service = MonitorService({"Guideline": GuidelineMonitor(
+            lambda_10=90.0, alpha=10.0)})
+        low, ok = 85.0, 120.0
+        for step in range(4):
+            t = step * 5.0
+            result = service.process(
+                _tick(t, ("low", "ok"), [low, ok]))
+        # after 15+ minutes below lambda_10, phi3 fires for "low" only
+        assert result.alerts["Guideline"][0]
+        assert not result.alerts["Guideline"][1]
+
+    def test_registry_monitors_stay_unmutated(self):
+        registry = MonitorRegistry({"Guideline": GuidelineMonitor()})
+        service = MonitorService(registry)
+        service.process(_tick(0.0, ("a",), [40.0]))  # deep hypo alert
+        assert registry["Guideline"]._below_since is None
+
+    def test_events_ride_on_results(self):
+        service = MonitorService({"CAWOT": cawot_monitor()},
+                                 dedup_window=120.0)
+        result = service.process(_tick(0.0, ("a",), [40.0]))
+        assert result.alerts["CAWOT"][0]
+        assert len(result.events) == 1
+        # the repeat inside the window is deduped
+        repeat = service.process(_tick(5.0, ("a",), [40.0]))
+        assert repeat.alerts["CAWOT"][0]
+        assert repeat.events == []
+
+
+class TestContextWindow:
+    def test_window_matches_offline_context_matrix(
+            self, tiny_campaign_traces):
+        """The ring-rebuilt window is the tail of the offline batch."""
+        trace = tiny_campaign_traces[0]
+        window_ticks = 8
+        service = MonitorService(_monitors(), window=window_ticks)
+        for tick in iter_trace_ticks([trace]):
+            service.process(TickBatch(
+                t=tick.t, user_ids=("u",), cgm=tick.cgm, iob=tick.iob,
+                iob_rate=tick.iob_rate, rate=tick.rate, bolus=tick.bolus,
+                action=tick.action))
+        window = service.context_window("u")
+        offline = ContextBatch.from_traces([trace])
+        assert window.shape == (window_ticks, 1)
+        np.testing.assert_array_equal(
+            window.features[:, :, 0], offline.features[-window_ticks:, :, 0])
+        np.testing.assert_array_equal(
+            window.t[:, 0], offline.t[-window_ticks:, 0])
+        np.testing.assert_array_equal(
+            window.action[:, 0], offline.action[-window_ticks:, 0])
+
+    def test_unknown_user_rejected(self):
+        service = MonitorService(_monitors())
+        with pytest.raises(KeyError):
+            service.context_window("ghost")
+
+    def test_no_ticks_yet_rejected(self):
+        service = MonitorService(_monitors())
+        service.connect("a")
+        with pytest.raises(ValueError, match="no ticks"):
+            service.context_window("a")
+
+
+class TestValidation:
+    def test_bad_dt(self):
+        with pytest.raises(ValueError, match="dt"):
+            MonitorService(_monitors(), dt=0.0)
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError, match="window"):
+            MonitorService(_monitors(), window=0)
+
+    def test_tick_shape_mismatch(self):
+        with pytest.raises(ValueError, match="cgm"):
+            TickBatch(t=0.0, user_ids=("a", "b"), cgm=np.zeros(3),
+                      iob=np.zeros(2), iob_rate=np.zeros(2),
+                      rate=np.zeros(2), bolus=np.zeros(2),
+                      action=np.zeros(2))
+
+
+class TestContextBatchAppend:
+    def test_incremental_append_equals_from_traces(
+            self, tiny_campaign_traces):
+        traces = tiny_campaign_traces[:3]
+        whole = ContextBatch.from_traces(traces)
+        ticks = [ContextBatch(t=whole.t[s:s + 1],
+                              features=whole.features[s:s + 1],
+                              action=whole.action[s:s + 1], dt=whole.dt)
+                 for s in range(whole.shape[0])]
+        folded = ticks[0]
+        for tick in ticks[1:]:
+            folded = folded.append(tick)
+        np.testing.assert_array_equal(folded.features, whole.features)
+        np.testing.assert_array_equal(folded.t, whole.t)
+        np.testing.assert_array_equal(folded.action, whole.action)
+        np.testing.assert_array_equal(folded.dt, whole.dt)
+
+    def test_append_validates_columns_and_dt(self, tiny_campaign_traces):
+        batch = ContextBatch.from_traces(tiny_campaign_traces[:2])
+        narrow = batch.take_columns(np.array([0]))
+        with pytest.raises(ValueError, match="column count"):
+            batch.append(narrow)
+        other_dt = ContextBatch(t=batch.t, features=batch.features,
+                                action=batch.action, dt=batch.dt * 2.0)
+        with pytest.raises(ValueError, match="dt mismatch"):
+            batch.append(other_dt)
