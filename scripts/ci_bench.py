@@ -21,8 +21,13 @@ hazards-found-per-simulation relative to the fixed grid.  The ``serve``
 entry drives the online monitor service with the deterministic load
 generator and floors sustained throughput at ``SERVE_THROUGHPUT_FLOOR``
 (10k user-ticks/sec — a 10k-user fleet served inside one tick), recording
-the p99 tick latency alongside.  The JSON is uploaded as a CI artifact
-either way, so every commit leaves a performance record.
+the p99 tick latency alongside.  The ``serve_recovery`` entry re-runs
+the same fleet with the write-ahead journal fsync'd, snapshots, and
+recovers the service from disk: its wall time gates the snapshot +
+recovery path, and the recorded journal overhead is capped at
+``JOURNAL_OVERHEAD_CEILING`` (15% throughput loss vs journal-off) —
+durability may not eat the serving headroom.  The JSON is uploaded as a
+CI artifact either way, so every commit leaves a performance record.
 
 The baseline is calibrated on the CI runner class; after an intentional
 performance change (or a runner upgrade), refresh it with::
@@ -39,6 +44,7 @@ import platform
 import resource
 import subprocess
 import sys
+import tempfile
 import time
 
 from repro.baselines import GuidelineMonitor, MPCMonitor
@@ -88,6 +94,11 @@ SERVE_THROUGHPUT_FLOOR = 10_000
 #: that a fleet of this size is served in under one tick interval)
 SERVE_FLEET_SIZE = 10_000
 SERVE_TICKS = 5
+
+#: hard ceiling on the crash-safety tax: serving with the fsync'd
+#: write-ahead journal may cost at most this fraction of journal-off
+#: throughput (the same budget bench_serve.py asserts)
+JOURNAL_OVERHEAD_CEILING = 0.15
 
 
 def git_sha() -> str:
@@ -217,6 +228,43 @@ def run_benchmarks() -> dict:
     results["serve"]["p99_tick_ms"] = round(report.p99_tick_ms, 2)
     print(f"  serve: {report.summary()}", flush=True)
 
+    # crash-safe serving: the same fleet with the fsync'd write-ahead
+    # journal on, then the snapshot + recovery path; records the journal
+    # overhead (gated at JOURNAL_OVERHEAD_CEILING) and times bringing a
+    # 10k-user fleet back from disk.  Single 0.1s-scale runs see ±20%
+    # scheduler jitter, so the overhead compares best-of-two per side.
+    with tempfile.TemporaryDirectory() as tmp:
+        plain_best = journaled_best = 0.0
+        persisted = None
+        state_dir = None
+        for attempt in range(2):
+            plain = run_load(MonitorService(serve_monitors),
+                             SERVE_FLEET_SIZE, SERVE_TICKS, seed=0)
+            plain_best = max(plain_best, plain.users_per_sec)
+            if persisted is not None:
+                persisted.close()
+            state_dir = os.path.join(tmp, f"state{attempt}")
+            persisted = MonitorService(serve_monitors,
+                                       persist_dir=state_dir, fsync=True)
+            journaled = run_load(persisted, SERVE_FLEET_SIZE, SERVE_TICKS,
+                                 seed=0)
+            journaled_best = max(journaled_best, journaled.users_per_sec)
+
+        def snapshot_and_recover():
+            persisted.snapshot()
+            persisted.close()
+            return MonitorService.recover(state_dir)
+
+        recovered = timed("serve_recovery", snapshot_and_recover)
+        assert recovered.n_users == SERVE_FLEET_SIZE
+        overhead = round(1.0 - journaled_best / max(plain_best, 1e-9), 3)
+        results["serve_recovery"]["journal_overhead"] = overhead
+        results["serve_recovery"]["journaled_users_per_sec"] = round(
+            journaled_best, 1)
+        print(f"  journal overhead: {overhead:+.1%} "
+              f"({journaled_best:,.0f} user-ticks/s journaled)",
+              flush=True)
+
     # warm the shared experiment cache so the table6 number measures the
     # monitors (ML training jobs, threshold learning, replay) — the stage
     # this repo's training layer parallelises — not re-simulation
@@ -282,6 +330,12 @@ def check_against_baseline(results: dict, peak_mb: float,
             f"serve throughput {users_per_sec:,.0f} user-ticks/s is below "
             f"the {SERVE_THROUGHPUT_FLOOR:,} floor — one service process "
             "can no longer hold a 10k-user fleet at the 5-minute cadence")
+    overhead = results.get("serve_recovery", {}).get("journal_overhead")
+    if overhead is not None and overhead > JOURNAL_OVERHEAD_CEILING:
+        regressions.append(
+            f"write-ahead journaling costs {overhead:.1%} of serve "
+            f"throughput, over the {JOURNAL_OVERHEAD_CEILING:.0%} ceiling "
+            "— durability is eating the serving headroom")
     return regressions
 
 

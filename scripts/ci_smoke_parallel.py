@@ -21,7 +21,12 @@ contract of ``repro.simulation.vector_replay``.  The same campaign is then pushe
 through the online :class:`MonitorService` as a live tick stream
 (``repro.serve.replay_log``) twice, and both served runs must reproduce
 the offline ``replay_campaign`` alert streams element-wise at offline
-batch sizes {1, 8} — the serving parity contract.  Then the *mitigated*
+batch sizes {1, 8} — the serving parity contract.  A crash-recovery
+smoke then kills a journaled service (``persist_dir``) at two mid-run
+tick boundaries and recovers it from snapshot + write-ahead journal
+(``repro.serve.chaos``): the stitched alert stream must be element-wise
+identical to the uninterrupted run — the crash-safety parity contract of
+``repro.serve.persist``.  Then the *mitigated*
 closed loop (CAWOT monitor wired to the fixed Algorithm 1 strategy, the
 Table VII configuration) is swept across batch sizes {1, 8} x workers
 {1, 2} and every combination must reproduce the scalar mitigated run
@@ -35,6 +40,7 @@ Run:  python scripts/ci_smoke_parallel.py [workers]
 """
 
 import dataclasses
+import os
 import sys
 import tempfile
 import time
@@ -49,7 +55,9 @@ from repro.experiments.data import ml_baseline_jobs
 from repro.fi import CampaignConfig, generate_campaign
 from repro.ml import monitor_state, run_training_jobs
 from repro.search import CrossEntropySearch
-from repro.serve import replay_log
+from repro.serve import MonitorService, replay_log
+from repro.serve.chaos import (crash_recovery_run, drive, fleet_ticks,
+                               results_equal)
 from repro.simulation import (CampaignStoreWriter, TraceDataset,
                               plan_campaign, plan_fingerprint,
                               replay_campaign, run_campaign)
@@ -243,6 +251,30 @@ def main() -> int:
     print(f"OK: online service reproduces offline replay of "
           f"{len(monitors)} monitor kinds element-wise "
           f"(2 service runs x offline batch sizes 1/8, {t_serve:.2f}s)")
+
+    # crash-recovery smoke: kill a journaled service at mid-run tick
+    # boundaries, recover from snapshot + write-ahead journal, and the
+    # stitched stream must match the uninterrupted run element-wise
+    chaos_monitors = {name: monitors[name]
+                      for name in ("CAWT", "CAWOT", "Guideline")}
+    chaos_ticks = fleet_ticks(100, 8, seed=3)
+    start = time.perf_counter()
+    uninterrupted = drive(MonitorService(chaos_monitors), chaos_ticks)
+    with tempfile.TemporaryDirectory() as root:
+        for kill_after in (3, 6):
+            stitched, recovered = crash_recovery_run(
+                chaos_monitors, chaos_ticks,
+                os.path.join(root, f"kill{kill_after}"),
+                kill_after=kill_after, snapshot_every=3)
+            equal, why = results_equal(uninterrupted, stitched)
+            if not equal or recovered.recovery_report is None:
+                print(f"FAIL: recovery after a kill at tick {kill_after} "
+                      f"is not bit-exact: {why}")
+                return 1
+    t_chaos = time.perf_counter() - start
+    print(f"OK: journaled service killed at tick boundaries 3/6 recovers "
+          f"to an element-wise identical stream "
+          f"(100 users x 8 ticks, {t_chaos:.2f}s)")
 
     # mitigated-batch parity: the live Table VII closed loop (monitor +
     # mitigator inside the lock-step engine) across batch x worker combos

@@ -118,6 +118,28 @@ class SafetyMonitor(abc.ABC):
         raise NotImplementedError(
             f"{type(self).__name__} does not support registry state export")
 
+    def export_runtime(self) -> Dict[str, object]:
+        """The monitor's *runtime* (cross-cycle) state, picklable.
+
+        Distinct from :meth:`export_state`, which captures construction
+        parameters: this captures what :meth:`observe` has accumulated so
+        far — an excursion timer, an LSTM hidden state — so the serving
+        layer's crash-recovery snapshots (:mod:`repro.serve.persist`) can
+        restore a per-user clone mid-stream and keep its subsequent
+        verdicts element-wise identical to an uninterrupted run.
+
+        The default captures the full instance ``__dict__`` (correct for
+        any monitor whose state lives in instance attributes, which is
+        all of the in-tree kinds); monitors carrying unpicklable or
+        oversized attributes may override with something narrower, paired
+        with :meth:`restore_runtime`.
+        """
+        return dict(self.__dict__)
+
+    def restore_runtime(self, state: Dict[str, object]) -> None:
+        """Install :meth:`export_runtime` output on a fresh clone."""
+        self.__dict__.update(state)
+
     def observe_batch(self, batch) -> Tuple[np.ndarray, np.ndarray]:
         """Evaluate a lock-step stack of recorded context streams.
 

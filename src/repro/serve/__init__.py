@@ -1,19 +1,25 @@
 """Online monitor serving: registry, per-user context rings, tick-batched
-evaluation, alert dedup/escalation and a deterministic load generator.
+evaluation, alert dedup/escalation, a deterministic load generator, and
+crash safety (write-ahead journal + snapshots + bit-exact recovery).
 
 The production half of the reproduction: trained monitors load once from a
 :class:`MonitorRegistry` and evaluate every connected user per tick as one
 ``ContextBatch`` column batch, with raw alert streams element-wise
 identical to offline :func:`~repro.simulation.replay.replay_campaign`
 (see :mod:`repro.serve.service` and ``docs/monitor_service.md``).
+Malformed rows are quarantined (:class:`RejectedTick`) instead of raising
+mid-tick, and with a ``persist_dir`` the service survives hard kills via
+:mod:`repro.serve.persist` — faults injected by :mod:`repro.serve.chaos`.
 """
 
 from .alerts import AlertEvent, AlertManager, DEFAULT_DEDUP_WINDOW_MINUTES
 from .loadgen import LoadGenerator, LoadReport, run_load
+from .persist import (JournalCorruptError, PersistenceError, RecoveryReport,
+                      SnapshotError, TickJournal)
 from .registry import MonitorRegistry, RegistryError
 from .ring import ContextRing
-from .service import (DEFAULT_WINDOW_TICKS, MonitorService, TickBatch,
-                      TickResult, replay_log)
+from .service import (DEFAULT_WINDOW_TICKS, REJECT_REASONS, MonitorService,
+                      RejectedTick, TickBatch, TickResult, replay_log)
 
 __all__ = [
     "AlertEvent",
@@ -21,12 +27,19 @@ __all__ = [
     "DEFAULT_DEDUP_WINDOW_MINUTES",
     "DEFAULT_WINDOW_TICKS",
     "ContextRing",
+    "JournalCorruptError",
     "LoadGenerator",
     "LoadReport",
     "MonitorRegistry",
     "MonitorService",
+    "PersistenceError",
+    "RecoveryReport",
     "RegistryError",
+    "REJECT_REASONS",
+    "RejectedTick",
+    "SnapshotError",
     "TickBatch",
+    "TickJournal",
     "TickResult",
     "replay_log",
     "run_load",

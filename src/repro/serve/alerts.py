@@ -98,6 +98,12 @@ class AlertManager:
 
     window: float = DEFAULT_DEDUP_WINDOW_MINUTES
     escalate_after: Optional[int] = 24
+    #: raw alerts whose wall clock ran *backwards* relative to the
+    #: stream's last emission (clock skew): the timestamp is clamped to
+    #: the last emit time for window arithmetic instead of silently
+    #: reopening (negative elapsed) or corrupting the dedup window, and
+    #: each occurrence is counted here for operators
+    clock_skew_events: int = 0
     #: monitor name -> user id -> stream state
     _streams: Dict[str, Dict[Hashable, _StreamState]] = field(
         default_factory=dict, repr=False)
@@ -124,6 +130,12 @@ class AlertManager:
                                             last_emit_hazard=hazard)
             return AlertEvent(t=t, user_id=user_id, monitor=monitor,
                               hazard=hazard)
+        if t < state.last_emit_t:
+            # non-monotone wall clock on this stream: clamp rather than
+            # let a negative elapsed time warp the dedup window (a skewed
+            # source could otherwise suppress alerts for up to 2x window)
+            self.clock_skew_events += 1
+            t = state.last_emit_t
         state.streak += 1
         state.streak_since_emit += 1
         escalate = (self.escalate_after is not None

@@ -130,15 +130,32 @@ class MonitorRegistry:
                 f"registry schema {schema!r} != {REGISTRY_SCHEMA_VERSION}")
         monitors: Dict[str, SafetyMonitor] = {}
         for entry in manifest.get("monitors", []):
+            name, kind = entry.get("name"), entry.get("kind")
             arrays: Dict[str, np.ndarray] = {}
             if entry.get("arrays"):
                 arrays_path = os.path.join(directory, entry["arrays"])
                 if not os.path.isfile(arrays_path):
                     raise RegistryError(f"missing arrays file {arrays_path}")
-                with np.load(arrays_path) as data:
-                    arrays = {key: data[key] for key in data.files}
-            monitors[entry["name"]] = _rebuild(entry["kind"],
-                                               entry["config"], arrays)
+                # a truncated/corrupted .npz surfaces as a zipfile or
+                # pickle error deep inside numpy — re-raise as the typed
+                # registry failure so callers never half-load a fleet
+                try:
+                    with np.load(arrays_path) as data:
+                        arrays = {key: data[key] for key in data.files}
+                except RegistryError:
+                    raise
+                except Exception as exc:
+                    raise RegistryError(
+                        f"corrupt arrays file {arrays_path} for monitor "
+                        f"{name!r}: {exc}") from exc
+            try:
+                monitors[name] = _rebuild(kind, entry["config"], arrays)
+            except RegistryError:
+                raise
+            except (KeyError, ValueError, TypeError) as exc:
+                raise RegistryError(
+                    f"cannot rebuild monitor {name!r} of kind {kind!r}: "
+                    f"manifest/arrays mismatch ({exc!r})") from exc
         return cls(monitors)
 
 

@@ -93,6 +93,31 @@ class ContextRing:
         self._data[positions, :, slots] = rows.T
         self._counts[slots] += 1
 
+    def export_state(self) -> dict:
+        """Snapshot payload: copies of the backing array and counters.
+
+        Consumed by the serving layer's crash-recovery snapshots
+        (:mod:`repro.serve.persist`); restoring via :meth:`restore_state`
+        reproduces the ring bit for bit, including wraparound position.
+        """
+        return {"capacity": self.capacity, "width": self.width,
+                "data": self._data.copy(), "counts": self._counts.copy()}
+
+    def restore_state(self, state: dict) -> None:
+        """Install :meth:`export_state` output (shape-checked)."""
+        data = np.asarray(state["data"], dtype=float)
+        counts = np.asarray(state["counts"], dtype=np.int64)
+        if (int(state["capacity"]) != self.capacity
+                or int(state["width"]) != self.width
+                or data.shape[:2] != (self.capacity, self.width)
+                or counts.shape != (data.shape[2],)):
+            raise ValueError(
+                f"ring state (capacity={state['capacity']}, "
+                f"width={state['width']}, data {data.shape}, counts "
+                f"{counts.shape}) does not fit ring {self!r}")
+        self._data = data
+        self._counts = counts
+
     def window(self, slot: int) -> np.ndarray:
         """The chronological ``(count, width)`` view of *slot*.
 

@@ -164,3 +164,57 @@ class TestBulkTick:
         events = m.observe_tick(20.0, "CAWT", ("a",), np.array([True]),
                                 np.array([H1]))
         assert len(events) == 1 and events[0].escalated
+
+
+class TestClockSkew:
+    """Non-monotone wall clock per stream: clamp-and-count, never warp."""
+
+    def test_backwards_clock_is_clamped_and_counted(self):
+        m = manager()
+        assert m.observe(100.0, "u", "CAWT", True, H1) is not None
+        assert m.clock_skew_events == 0
+        # the clock steps back 90 minutes; without clamping the window
+        # arithmetic would treat this as t-last_emit = -90 and keep the
+        # stream silent for up to 2x the window
+        assert m.observe(10.0, "u", "CAWT", True, H1) is None
+        assert m.clock_skew_events == 1
+        # window elapses relative to the CLAMPED timeline (last emit at
+        # 100), not the skewed source clock
+        event = m.observe(220.0, "u", "CAWT", True, H1)
+        assert event is not None
+        assert m.clock_skew_events == 1
+
+    def test_skewed_hazard_change_emits_with_monotone_timestamp(self):
+        m = manager()
+        assert m.observe(100.0, "u", "CAWT", True, H1) is not None
+        # hazard change bypasses the window even under skew, and the
+        # emitted event's timestamp never runs backwards
+        event = m.observe(50.0, "u", "CAWT", True, H2)
+        assert event is not None
+        assert event.t == 100.0
+        assert m.clock_skew_events == 1
+
+    def test_skew_counts_only_alerting_streams(self):
+        m = manager()
+        assert m.observe(100.0, "u", "CAWT", True, H1) is not None
+        m.observe(50.0, "u", "CAWT", False, H1)  # silent tick: no skew event
+        assert m.clock_skew_events == 0
+
+    def test_service_exposes_the_counter(self):
+        from repro.core import cawot_monitor
+        from repro.serve import MonitorService, TickBatch
+
+        service = MonitorService({"CAWOT": cawot_monitor()})
+
+        def tick(t, bg):
+            return TickBatch(t=t, user_ids=("u",),
+                             cgm=np.array([bg]), iob=np.array([1.0]),
+                             iob_rate=np.zeros(1), rate=np.array([1.2]),
+                             bolus=np.zeros(1), action=np.array([4]))
+
+        service.process(tick(100.0, 40.0))  # emits
+        assert service.clock_skew_events == 0
+        # a skewed but NEWER-than-last-applied tick passes the stale
+        # guard yet lands behind the stream's last emit: counted there
+        service.alert_manager.observe(50.0, "u", "CAWOT", True, 1)
+        assert service.clock_skew_events == 1

@@ -135,6 +135,32 @@ class TestErrors:
         with pytest.raises(RegistryError, match="unknown monitor kind"):
             MonitorRegistry.load(str(tmp_path))
 
+    def test_truncated_npz_is_a_registry_error(self, registry, tmp_path):
+        """A half-written arrays file must surface as RegistryError, not
+        whatever zipfile/pickle exception numpy happens to raise."""
+        registry.save(str(tmp_path))
+        manifest = json.loads((tmp_path / "registry.json").read_text())
+        victim = next(entry["arrays"] for entry in manifest["monitors"]
+                      if entry["arrays"])
+        path = tmp_path / victim
+        blob = path.read_bytes()
+        path.write_bytes(blob[:len(blob) // 2])
+        with pytest.raises(RegistryError, match="corrupt arrays"):
+            MonitorRegistry.load(str(tmp_path))
+
+    def test_manifest_kind_mismatch_is_a_registry_error(
+            self, registry, tmp_path):
+        """Arrays saved for one kind, manifest claiming another: the
+        rebuild mismatch must be typed, never a bare KeyError."""
+        registry.save(str(tmp_path))
+        manifest = json.loads((tmp_path / "registry.json").read_text())
+        for entry in manifest["monitors"]:
+            if entry["kind"] == "dt":
+                entry["kind"] = "mlp"  # dt arrays can't rebuild an mlp
+        (tmp_path / "registry.json").write_text(json.dumps(manifest))
+        with pytest.raises(RegistryError, match="cannot rebuild"):
+            MonitorRegistry.load(str(tmp_path))
+
 
 class TestTreeNodeArrays:
     def test_from_node_arrays_round_trip_predicts_identically(

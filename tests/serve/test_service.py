@@ -72,10 +72,20 @@ class TestFleetMembership:
         service.process(_tick(0.0, ("a", "b"), [120.0, 130.0]))
         assert service.n_users == 2
 
-    def test_duplicate_users_in_one_tick_rejected(self):
+    def test_duplicate_users_in_one_tick_quarantined(self):
+        # degraded-mode ingestion: the duplicated row is quarantined (the
+        # first occurrence wins), never a mid-tick exception
         service = MonitorService(_monitors())
-        with pytest.raises(ValueError, match="duplicate user"):
-            service.process(_tick(0.0, ("a", "a"), [120.0, 120.0]))
+        result = service.process(_tick(0.0, ("a", "a", "b"),
+                                       [120.0, 125.0, 130.0]))
+        assert [r.reason for r in result.rejected] == ["duplicate-user"]
+        assert result.rejected[0].user_id == "a"
+        assert service.n_users == 2
+        assert service.health == "DEGRADED"
+        # only the first occurrence advanced user a's state
+        assert service.context_window("a").bg[0, 0] == 120.0
+        for flags in result.alerts.values():
+            assert flags.shape == (3,)
 
     def test_disconnect_frees_and_recycles_slots(self):
         service = MonitorService(_monitors())
@@ -193,6 +203,138 @@ class TestValidation:
                       iob=np.zeros(2), iob_rate=np.zeros(2),
                       rate=np.zeros(2), bolus=np.zeros(2),
                       action=np.zeros(2))
+
+
+class TestDegradedMode:
+    """Malformed rows quarantine; healthy rows are never held hostage."""
+
+    def test_nan_and_negative_glucose_quarantined(self):
+        service = MonitorService(_monitors())
+        result = service.process(_tick(0.0, ("a", "b", "c"),
+                                       [np.nan, -5.0, 120.0]))
+        reasons = {r.user_id: r.reason for r in result.rejected}
+        assert reasons == {"a": "bad-glucose", "b": "bad-glucose"}
+        assert result.rejected[1].value == -5.0
+        # the healthy row processed normally
+        assert service.context_window("c").bg[0, 0] == 120.0
+        for uid in ("a", "b"):
+            with pytest.raises(ValueError, match="no ticks"):
+                service.context_window(uid)
+        # rejected rows read like silent rows on the parity surface
+        for flags in result.alerts.values():
+            assert flags.shape == (3,)
+            assert not flags[0] and not flags[1]
+
+    def test_non_finite_channel_quarantined(self):
+        service = MonitorService(_monitors())
+        iob = np.array([np.inf, 1.0])
+        result = service.process(_tick(0.0, ("a", "b"), [120.0, 40.0],
+                                       iob=iob))
+        assert [r.reason for r in result.rejected] == ["bad-channel"]
+        # the deep-hypo healthy row still alerts on the same tick
+        assert result.alerts["CAWOT"][1]
+
+    def test_non_finite_timestamp_rejects_whole_tick(self):
+        service = MonitorService(_monitors())
+        result = service.process(_tick(float("nan"), ("a", "b"),
+                                       [120.0, 130.0]))
+        assert [r.reason for r in result.rejected] == ["bad-time"] * 2
+        assert service.health == "DEGRADED"
+        assert set(result.alerts) == set(_monitors())
+        for flags in result.alerts.values():
+            assert not flags.any()
+
+    def test_unknown_user_quarantined_without_autoconnect(self):
+        service = MonitorService(_monitors(), auto_connect=False)
+        service.connect("a")
+        result = service.process(_tick(0.0, ("a", "ghost"), [120.0, 130.0]))
+        assert [r.reason for r in result.rejected] == ["unknown-user"]
+        assert result.rejected[0].user_id == "ghost"
+        assert service.n_users == 1
+
+    def test_stale_timestamp_quarantined(self):
+        service = MonitorService(_monitors())
+        service.process(_tick(10.0, ("a",), [120.0]))
+        replayed = service.process(_tick(10.0, ("a",), [125.0]))
+        assert [r.reason for r in replayed.rejected] == ["stale-timestamp"]
+        older = service.process(_tick(5.0, ("a",), [125.0]))
+        assert [r.reason for r in older.rejected] == ["stale-timestamp"]
+        # the redelivered ticks changed nothing
+        assert service.context_window("a").bg[-1, 0] == 120.0
+        fresh = service.process(_tick(15.0, ("a",), [130.0]))
+        assert fresh.rejected == []
+        assert service.context_window("a").bg_rate[-1, 0] == 2.0
+
+    def test_health_recovers_after_quiet_window(self):
+        service = MonitorService(_monitors(), health_window=3)
+        assert service.health == "OK"
+        service.process(_tick(0.0, ("a",), [np.nan]))
+        assert service.health == "DEGRADED"
+        for step in range(1, 3):
+            service.process(_tick(step * 5.0, ("a",), [120.0]))
+            assert service.health == "DEGRADED"
+        service.process(_tick(15.0, ("a",), [120.0]))
+        assert service.health == "OK"
+        assert service.rejected_total == 1
+        assert service.rejected_by_reason == {"bad-glucose": 1}
+
+    def test_dead_letter_log_is_bounded(self):
+        service = MonitorService(_monitors(), dead_letter_capacity=4)
+        for step in range(10):
+            service.process(_tick(step * 5.0, ("a", "b"),
+                                  [np.nan, 120.0]))
+        assert len(service.dead_letters) == 4
+        assert service.rejected_total == 10
+        assert all(r.reason == "bad-glucose" for r in service.dead_letters)
+
+    def test_mixed_tick_keeps_healthy_verdicts_identical(self):
+        """Quarantine must not perturb healthy rows' verdicts."""
+        clean = MonitorService(_monitors())
+        degraded = MonitorService(_monitors())
+        for step in range(4):
+            t = step * 5.0
+            bgs = [40.0 + step, 200.0 - step]
+            reference = clean.process(_tick(t, ("x", "y"), bgs))
+            result = degraded.process(
+                _tick(t, ("x", "y", "junk"), bgs + [np.nan]))
+            for name in reference.alerts:
+                np.testing.assert_array_equal(
+                    reference.alerts[name], result.alerts[name][:2])
+                np.testing.assert_array_equal(
+                    reference.hazards[name], result.hazards[name][:2])
+
+
+class TestReconnectScrub:
+    def test_reconnecting_user_inherits_nothing(self):
+        """Regression: disconnect must scrub ring rows, BG memory and
+        alert streams so a reconnecting user starts truly fresh."""
+        service = MonitorService(_monitors())
+        # build up history + an emitted (now suppressed) alert stream
+        for step in range(5):
+            service.process(_tick(step * 5.0, ("a",), [40.0]))
+        service.disconnect("a")
+        # reconnect (recycles the same slot) and tick once, healthy
+        result = service.process(_tick(25.0, ("a",), [120.0]))
+        window = service.context_window("a")
+        assert window.shape == (1, 1)  # no stale ring rows
+        assert window.bg_rate[0, 0] == 0.0  # first tick, not a delta
+        assert result.rejected == []  # last-tick stamp was scrubbed too
+        # the old dedup stream is gone: a fresh alert emits immediately
+        alert = service.process(_tick(30.0, ("a",), [40.0]))
+        assert alert.alerts["CAWOT"][0]
+        assert len(alert.events) >= 1
+
+    def test_recycled_slot_scrubbed_for_new_user(self):
+        service = MonitorService(_monitors())
+        service.process(_tick(0.0, ("old",), [40.0]))
+        service.disconnect("old")
+        assert service.alert_manager.n_streams == 0  # drop_user ran
+        service.connect("new")  # recycles the slot (clear_slot ran)
+        result = service.process(_tick(5.0, ("new",), [120.0]))
+        window = service.context_window("new")
+        assert window.shape == (1, 1)
+        assert window.bg[0, 0] == 120.0
+        assert result.rejected == []
 
 
 class TestContextBatchAppend:
