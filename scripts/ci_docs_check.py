@@ -40,6 +40,7 @@ MAPPED_DOCS = (
     (os.path.join("docs", "mitigation.md"), True),
     (os.path.join("docs", "scenario_search.md"), True),
     (os.path.join("docs", "monitor_service.md"), True),
+    (os.path.join("docs", "distributed_campaigns.md"), True),
 )
 
 #: markdown inline links [text](target); images share the syntax

@@ -11,6 +11,26 @@ coverage.py's (same universe construction, modulo docstring handling),
 so set the CI floor a point or two *below* the figure printed here and
 never above it.
 
+Calibration procedure (run whenever a PR adds or removes enough code to
+move the figure — new subsystems, large test batteries):
+
+1. ``python scripts/measure_coverage.py --no-modules`` on a clean
+   checkout of the branch.  The suite must pass; a failing run prints
+   no meaningful figure.
+2. Take the printed TOTAL percentage and subtract 1–2 points of head
+   room — the stdlib tracer and coverage.py disagree slightly on
+   docstring/`` if TYPE_CHECKING``-style lines, and subprocess-heavy
+   tests (forked pool workers, ``python -m`` worker entrypoints) are
+   untraced under both tools, so the CI figure jitters around this
+   one.
+3. Set ``--cov-fail-under`` in the ``coverage`` job of
+   ``.github/workflows/ci.yml`` to that floored value.  Raise the
+   floor when the measured figure rises; never lower it just to make a
+   PR pass — a genuine drop needs the offending code tested or the
+   drop justified in the PR.
+4. For a local gate without editing CI:
+   ``python scripts/measure_coverage.py --floor <value> --no-modules``.
+
 On Python 3.12+ the measurement uses ``sys.monitoring`` (PEP 669) with
 per-location disarming, which costs a few percent of runtime.  On older
 interpreters it falls back to ``sys.settrace`` with per-code-object

@@ -1,0 +1,43 @@
+"""Distributed campaign execution: partition → dispatch → retry → merge.
+
+Scales :func:`~repro.simulation.batch.run_campaign` across hosts without
+changing what it produces: the plan is split into deterministic,
+disjoint, covering ranges (the ``repro.parallel`` chunk boundaries),
+each range runs through ``python -m repro.distributed.worker`` into a
+partial dataset, failed or straggling ranges are retried idempotently,
+and :func:`merge_manifests` assembles a store byte-identical to the
+single-box run — or raises a typed
+:class:`DistributedCampaignError` explaining exactly why it will not.
+
+See ``docs/distributed_campaigns.md`` for the protocol, the retry and
+idempotency rules, and the merge validation matrix.
+"""
+
+from .chaos import (FlakyLauncher, corrupt_partial_manifest, delete_shard,
+                    truncate_partial_manifest)
+from .coordinator import (DistributedCampaignResult, LocalLauncher,
+                          SSHLauncher, WorkerHandle, WorkerSpec,
+                          run_distributed_campaign)
+from .errors import (DistributedCampaignError, MergeManifestError,
+                     PlanFormatError, WorkerError)
+from .merge import load_partial, merge_manifests, merged_dataset
+from .planio import (PLAN_FORMAT_VERSION, load_plan, plan_from_doc,
+                     plan_to_doc, save_plan)
+from .worker import (CRASH_AFTER_SHARDS_ENV, CRASH_EXIT_CODE,
+                     PARTIAL_FORMAT_VERSION, PARTIAL_MANIFEST_NAME,
+                     SLEEP_SECONDS_ENV, partial_manifest_path, write_partial)
+
+__all__ = [
+    "DistributedCampaignError", "PlanFormatError", "WorkerError",
+    "MergeManifestError",
+    "PLAN_FORMAT_VERSION", "plan_to_doc", "plan_from_doc", "save_plan",
+    "load_plan",
+    "PARTIAL_MANIFEST_NAME", "PARTIAL_FORMAT_VERSION",
+    "CRASH_AFTER_SHARDS_ENV", "SLEEP_SECONDS_ENV", "CRASH_EXIT_CODE",
+    "partial_manifest_path", "write_partial",
+    "load_partial", "merge_manifests", "merged_dataset",
+    "WorkerSpec", "WorkerHandle", "LocalLauncher", "SSHLauncher",
+    "DistributedCampaignResult", "run_distributed_campaign",
+    "FlakyLauncher", "corrupt_partial_manifest",
+    "truncate_partial_manifest", "delete_shard",
+]

@@ -1,0 +1,106 @@
+"""Fault injection for the distributed campaign battery.
+
+Mirrors ``repro.serve.chaos``: the failure modes a multi-host campaign
+meets in practice, packaged as deterministic injectors so the test
+battery can assert the recovery contract — every run either merges into
+a dataset byte-identical to the single-box reference or raises a typed
+:class:`~repro.distributed.errors.DistributedCampaignError`.
+
+:class:`FlakyLauncher` wraps a real launcher and sabotages chosen ranges
+on their early attempts through the worker's environment hooks: a
+*crash* injection hard-kills the worker mid-range
+(``REPRO_DIST_CRASH_AFTER_SHARDS``, ``os._exit`` with no partial
+manifest — what a dead host leaves behind), a *stall* injection delays
+start-up (``REPRO_DIST_SLEEP_SECONDS``) so the coordinator's straggler
+timeout fires.  Attempts past ``fail_attempts`` run clean, so the
+default coordinator retry budget recovers.
+
+The file-level helpers corrupt completed partials in place — torn JSON,
+truncation, a vanished shard — for asserting that the merge refuses
+damaged inputs loudly instead of assembling them.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+from .coordinator import LocalLauncher, WorkerHandle, WorkerSpec
+from .worker import (CRASH_AFTER_SHARDS_ENV, SLEEP_SECONDS_ENV,
+                     partial_manifest_path)
+
+__all__ = ["FlakyLauncher", "corrupt_partial_manifest",
+           "truncate_partial_manifest", "delete_shard"]
+
+
+class FlakyLauncher:
+    """Launcher wrapper that sabotages chosen ranges' early attempts.
+
+    *crash_ranges* maps a ``(start, stop)`` range to the number of shards
+    its worker writes before hard-exiting; *stall_ranges* maps a range to
+    the seconds its worker sleeps before starting (long enough to trip
+    the coordinator's ``timeout_s``).  Injections apply to attempts
+    ``< fail_attempts``; later attempts are launched untouched, which is
+    exactly the recover-by-retry path under test.
+    """
+
+    def __init__(self, inner: Optional[LocalLauncher] = None,
+                 crash_ranges: Optional[Dict[Tuple[int, int], int]] = None,
+                 stall_ranges: Optional[Dict[Tuple[int, int], float]] = None,
+                 fail_attempts: int = 1):
+        self.inner = inner if inner is not None else LocalLauncher()
+        self.crash_ranges = dict(crash_ranges or {})
+        self.stall_ranges = dict(stall_ranges or {})
+        self.fail_attempts = fail_attempts
+        #: every spec launched, in order — lets tests assert retry counts
+        self.launched = []
+
+    def launch(self, spec: WorkerSpec) -> WorkerHandle:
+        self.launched.append(spec)
+        overlay: Dict[str, str] = {}
+        if spec.attempt < self.fail_attempts:
+            if spec.range_key in self.crash_ranges:
+                overlay[CRASH_AFTER_SHARDS_ENV] = str(
+                    self.crash_ranges[spec.range_key])
+            if spec.range_key in self.stall_ranges:
+                overlay[SLEEP_SECONDS_ENV] = str(
+                    self.stall_ranges[spec.range_key])
+        if not overlay:
+            return self.inner.launch(spec)
+        saved = dict(self.inner.env)
+        self.inner.env.update(overlay)
+        try:
+            return self.inner.launch(spec)
+        finally:
+            self.inner.env = saved
+
+
+def corrupt_partial_manifest(directory: str,
+                             garbage: str = '{"format": 1, "entr') -> str:
+    """Overwrite a partial manifest with torn JSON; returns its path."""
+    path = partial_manifest_path(directory)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(garbage)
+    return path
+
+
+def truncate_partial_manifest(directory: str, keep_bytes: int = 40) -> str:
+    """Truncate a partial manifest mid-document (a torn write without the
+    store's rename discipline); returns its path."""
+    path = partial_manifest_path(directory)
+    with open(path, "rb+") as fh:
+        fh.truncate(keep_bytes)
+    return path
+
+
+def delete_shard(directory: str, index: int = 0) -> str:
+    """Delete the *index*-th shard file of a completed partial; returns
+    the deleted path."""
+    shards = sorted(name for name in os.listdir(directory)
+                    if name.startswith("trace_"))
+    if index >= len(shards):
+        raise IndexError(
+            f"{directory} has {len(shards)} shards, no index {index}")
+    path = os.path.join(directory, shards[index])
+    os.remove(path)
+    return path

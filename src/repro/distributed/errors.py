@@ -1,0 +1,32 @@
+"""Typed failures of the distributed campaign layer.
+
+The distributed coordinator inherits the store's loudness doctrine: a
+multi-host campaign either assembles into a dataset that is byte-identical
+to a single-box run, or it raises one of these — never a silent gap, a
+quietly dropped range, or a half-merged manifest.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DistributedCampaignError", "PlanFormatError", "WorkerError",
+           "MergeManifestError"]
+
+
+class DistributedCampaignError(RuntimeError):
+    """Root of the distributed campaign layer's typed failures."""
+
+
+class PlanFormatError(DistributedCampaignError):
+    """A serialized campaign plan is unreadable, truncated, or does not
+    hash to its recorded fingerprint."""
+
+
+class WorkerError(DistributedCampaignError):
+    """A range worker failed past its retry budget — crashed, timed out
+    as a straggler, or kept producing an invalid partial manifest."""
+
+
+class MergeManifestError(DistributedCampaignError):
+    """Partial manifests cannot be assembled into one valid dataset:
+    schema-version skew, fingerprint mismatch, overlapping or missing
+    ranges, divergent duplicates, or corrupted partial manifests."""

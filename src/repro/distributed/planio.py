@@ -1,0 +1,124 @@
+"""Campaign-plan serialization: the coordinator/worker wire format.
+
+A :class:`~repro.simulation.executor.CampaignPlan` is pure data — patient
+ids, initial glucose values, fault specs, meals — so it crosses host
+boundaries as a JSON document rather than a pickle: any worker (local
+subprocess, ssh session, container) can load it with nothing but this
+module and re-derive *exactly* the plan the coordinator holds.  The
+document embeds the plan's campaign fingerprint
+(:func:`~repro.simulation.store.plan_fingerprint`); :func:`load_plan`
+recomputes it from the decoded runs and refuses the file on mismatch, so
+a truncated upload or a stale plan file is a loud
+:class:`~repro.distributed.errors.PlanFormatError`, never a silently
+different campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List
+
+from ..fi import FaultKind, FaultSpec, FaultTarget
+from ..patients import Meal
+from ..simulation.executor import CampaignPlan, SimRun
+from ..simulation.store import plan_fingerprint
+from .errors import PlanFormatError
+
+__all__ = ["PLAN_FORMAT_VERSION", "plan_to_doc", "plan_from_doc",
+           "save_plan", "load_plan"]
+
+#: bump when the plan document layout changes
+PLAN_FORMAT_VERSION = 1
+
+
+def _fault_doc(fault):
+    if fault is None:
+        return None
+    return {"kind": fault.kind.value, "target": fault.target.value,
+            "start_step": fault.start_step,
+            "duration_steps": fault.duration_steps, "value": fault.value}
+
+
+def _fault_from_doc(doc):
+    if doc is None:
+        return None
+    return FaultSpec(kind=FaultKind(doc["kind"]),
+                     target=FaultTarget(doc["target"]),
+                     start_step=int(doc["start_step"]),
+                     duration_steps=int(doc["duration_steps"]),
+                     value=float(doc["value"]))
+
+
+def plan_to_doc(plan: CampaignPlan) -> dict:
+    """The JSON-serializable document describing *plan* exactly."""
+    runs: List[dict] = []
+    for run in plan.runs:
+        runs.append({"patient_id": run.patient_id,
+                     "init_glucose": run.init_glucose, "label": run.label,
+                     "fault": _fault_doc(run.fault),
+                     "meals": [[meal.time, meal.carbs]
+                               for meal in run.meals]})
+    return {"format": PLAN_FORMAT_VERSION,
+            "fingerprint": plan_fingerprint(plan),
+            "platform": plan.platform, "n_steps": plan.n_steps,
+            "target": plan.target, "dt": plan.dt, "runs": runs}
+
+
+def plan_from_doc(doc: dict) -> CampaignPlan:
+    """Rebuild the :class:`CampaignPlan` a document describes.
+
+    Raises :class:`PlanFormatError` on format-version skew, missing
+    fields, or a decoded plan that does not hash to the document's
+    recorded fingerprint.
+    """
+    try:
+        version = doc["format"]
+        if version != PLAN_FORMAT_VERSION:
+            raise PlanFormatError(
+                f"plan document has format version {version!r}; this "
+                f"reader supports {PLAN_FORMAT_VERSION}")
+        runs = tuple(
+            SimRun(patient_id=run["patient_id"],
+                   init_glucose=float(run["init_glucose"]),
+                   label=run["label"], fault=_fault_from_doc(run["fault"]),
+                   meals=tuple(Meal(time=float(t), carbs=float(c))
+                               for t, c in run["meals"]))
+            for run in doc["runs"])
+        plan = CampaignPlan(platform=doc["platform"], runs=runs,
+                            n_steps=int(doc["n_steps"]),
+                            target=float(doc["target"]),
+                            dt=float(doc["dt"]))
+        recorded = doc["fingerprint"]
+    except PlanFormatError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PlanFormatError(f"malformed plan document: {exc}") from exc
+    recomputed = plan_fingerprint(plan)
+    if recomputed != recorded:
+        raise PlanFormatError(
+            f"plan document fingerprint mismatch: records {recorded}, "
+            f"decoded runs hash to {recomputed} (file edited, truncated, "
+            "or written by an incompatible schema version)")
+    return plan
+
+
+def save_plan(plan: CampaignPlan, path: str) -> str:
+    """Write *plan* to *path* atomically (write-then-rename).  Returns
+    *path*."""
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(plan_to_doc(plan), fh, indent=1)
+    os.replace(tmp, path)
+    return path
+
+
+def load_plan(path: str) -> CampaignPlan:
+    """Load and validate the plan document at *path*."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise PlanFormatError(
+            f"unreadable plan document at {path}: {exc}") from exc
+    return plan_from_doc(doc)

@@ -303,7 +303,10 @@ class NpzDirectorySink(TraceSink):
     #: shard filename extension (subclasses override)
     suffix = "npz"
 
-    def __init__(self, directory: str):
+    def __init__(self, directory: str, index_offset: int = 0):
+        if index_offset < 0:
+            raise ValueError(
+                f"index_offset must be >= 0, got {index_offset}")
         self.directory = directory
         os.makedirs(directory, exist_ok=True)
         stale = [name for name in os.listdir(directory)
@@ -314,6 +317,11 @@ class NpzDirectorySink(TraceSink):
                 f"{directory} already holds {len(stale)} trace file(s); "
                 "writing would intermix two campaigns — use a fresh "
                 "directory or remove them first")
+        #: shard numbering starts here — a distributed range worker
+        #: writing runs [start, stop) of one shared plan passes
+        #: ``index_offset=start`` so its shard names are *global* plan
+        #: indices and partial directories merge without renaming
+        self.index_offset = int(index_offset)
         self.n_written = 0
 
     @classmethod
@@ -324,7 +332,8 @@ class NpzDirectorySink(TraceSink):
         np.savez_compressed(path, **trace_to_arrays(trace))
 
     def write(self, trace: SimulationTrace) -> None:
-        path = os.path.join(self.directory, self.shard_name(self.n_written))
+        path = os.path.join(
+            self.directory, self.shard_name(self.index_offset + self.n_written))
         self._write_shard(path, trace)
         self.n_written += 1
 

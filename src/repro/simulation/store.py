@@ -45,7 +45,8 @@ from .trace import SimulationTrace, trace_from_arrays, trace_from_struct
 
 __all__ = [
     "SCHEMA_VERSION", "MANIFEST_NAME", "CampaignStoreError",
-    "campaign_fingerprint", "plan_fingerprint", "CampaignStoreWriter",
+    "campaign_fingerprint", "plan_fingerprint", "trace_entry",
+    "assign_folds", "write_manifest", "CampaignStoreWriter",
     "DatasetStats", "TraceDataset", "TraceDatasetView", "open_dataset",
     "manifest_path", "TraceTick", "iter_trace_ticks",
 ]
@@ -133,6 +134,76 @@ def _entry_fault(entry: Mapping) -> Optional[FaultSpec]:
 
 
 # ----------------------------------------------------------------------
+# manifest construction (shared by the writer and the distributed merge)
+# ----------------------------------------------------------------------
+
+def trace_entry(trace: SimulationTrace, file: str) -> dict:
+    """The manifest entry recording *trace* stored at shard *file*.
+
+    ``fold`` starts unassigned (``None``); :func:`assign_folds` fills it
+    in over the complete, plan-ordered entry list — fold identity depends
+    on a trace's position among its patient's traces, which no single
+    shard (or distributed range worker) can know in isolation.
+    """
+    fault = None
+    if trace.fault is not None:
+        fault = {"kind": trace.fault.kind.value,
+                 "target": trace.fault.target.value,
+                 "start_step": trace.fault.start_step,
+                 "duration_steps": trace.fault.duration_steps,
+                 "value": trace.fault.value}
+    return {"file": file, "patient_id": trace.patient_id,
+            "label": trace.label, "dt": trace.dt, "fold": None,
+            "fault": fault}
+
+
+def assign_folds(entries: List[dict], folds: Optional[int]) -> List[dict]:
+    """Assign per-patient round-robin cross-validation folds in place.
+
+    The same assignment :func:`~repro.simulation.batch.kfold_split`
+    produces on a patient's trace list: the n-th trace of each patient
+    (in entry order) lands in fold ``n % folds``.  Entry order must be
+    plan order — call this only on a complete entry list.  With
+    ``folds=None`` every ``fold`` stays ``None``.  Returns *entries*.
+    """
+    if folds is None:
+        return entries
+    per_patient: Dict[str, int] = {}
+    for entry in entries:
+        seen = per_patient.get(entry["patient_id"], 0)
+        entry["fold"] = seen % folds
+        per_patient[entry["patient_id"]] = seen + 1
+    return entries
+
+
+def write_manifest(directory: str, platform: str, n_steps: int,
+                   folds: Optional[int], shard_format: str,
+                   entries: List[dict]) -> dict:
+    """Finalise a campaign manifest over *entries*, atomically.
+
+    Computes the fingerprint from the entry cells and writes
+    ``manifest.json`` via write-then-rename, so a torn write never yields
+    a parsable manifest.  This is the single place a manifest's JSON is
+    produced — :class:`CampaignStoreWriter` and the distributed
+    :func:`~repro.distributed.merge_manifests` both call it, which is
+    what makes a merged multi-host dataset byte-identical to a
+    single-box write.  Returns the manifest document.
+    """
+    fingerprint = campaign_fingerprint(
+        platform, int(n_steps), (_entry_cell(e) for e in entries))
+    manifest = {"schema_version": SCHEMA_VERSION,
+                "fingerprint": fingerprint, "platform": platform,
+                "n_steps": int(n_steps), "folds": folds,
+                "shard_format": shard_format,
+                "n_traces": len(entries), "traces": entries}
+    tmp = manifest_path(directory) + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=1)
+    os.replace(tmp, manifest_path(directory))
+    return manifest
+
+
+# ----------------------------------------------------------------------
 # writer
 # ----------------------------------------------------------------------
 
@@ -187,7 +258,6 @@ class CampaignStoreWriter(TraceSink):
                 "remains of an interrupted campaign write; remove the "
                 "directory and rerun") from exc
         self._entries: List[dict] = []
-        self._per_patient: Dict[str, int] = {}
         self._closed = False
 
     @property
@@ -208,24 +278,10 @@ class CampaignStoreWriter(TraceSink):
         if len(trace) != self.n_steps:
             raise CampaignStoreError(
                 f"trace has {len(trace)} steps, store expects {self.n_steps}")
-        index = self._sink.n_written
+        index = self._sink.index_offset + self._sink.n_written
         self._sink.write(trace)
-        fold = None
-        if self.folds is not None:
-            seen = self._per_patient.get(trace.patient_id, 0)
-            fold = seen % self.folds
-            self._per_patient[trace.patient_id] = seen + 1
-        fault = None
-        if trace.fault is not None:
-            fault = {"kind": trace.fault.kind.value,
-                     "target": trace.fault.target.value,
-                     "start_step": trace.fault.start_step,
-                     "duration_steps": trace.fault.duration_steps,
-                     "value": trace.fault.value}
-        self._entries.append({"file": self._sink.shard_name(index),
-                              "patient_id": trace.patient_id,
-                              "label": trace.label, "dt": trace.dt,
-                              "fold": fold, "fault": fault})
+        self._entries.append(
+            trace_entry(trace, self._sink.shard_name(index)))
 
     def abort(self) -> None:
         """Discard the write: no manifest is (or can later be) produced."""
@@ -241,19 +297,9 @@ class CampaignStoreWriter(TraceSink):
     def close(self) -> None:
         if self._closed:
             return
-        fingerprint = campaign_fingerprint(
-            self.platform, self.n_steps,
-            (_entry_cell(e) for e in self._entries))
-        manifest = {"schema_version": SCHEMA_VERSION,
-                    "fingerprint": fingerprint, "platform": self.platform,
-                    "n_steps": self.n_steps, "folds": self.folds,
-                    "shard_format": self.shard_format,
-                    "n_traces": len(self._entries), "traces": self._entries}
-        # write-then-rename so a torn write never yields a parsable manifest
-        tmp = manifest_path(self.directory) + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(manifest, fh, indent=1)
-        os.replace(tmp, manifest_path(self.directory))
+        write_manifest(self.directory, self.platform, self.n_steps,
+                       self.folds, self.shard_format,
+                       assign_folds(self._entries, self.folds))
         self._closed = True
 
 

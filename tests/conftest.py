@@ -17,22 +17,13 @@ import dataclasses
 import numpy as np
 import pytest
 
-from repro.fi import CampaignConfig, generate_campaign
 from repro.simulation import run_campaign, run_fault_free
 
-#: the shared small campaign grid: 14 fault configs x 2 timings x 2 initial
-#: BGs = 56 scenarios against Glucosym patient B (hazardous and safe mix)
-TINY_CAMPAIGN_CONFIG = CampaignConfig(init_glucose_values=(120.0, 200.0),
-                                      timing_choices=((0, 24), (40, 30)))
-
-TINY_PLATFORM = "glucosym"
-TINY_PATIENT = "B"
-
-
-def tiny_campaign_scenarios():
-    """The scenario list behind :func:`tiny_campaign_traces` (plain helper
-    so tests can rebuild the matching CampaignPlan)."""
-    return generate_campaign(TINY_CAMPAIGN_CONFIG)
+# grid constants live in tests/tiny_grid.py (a uniquely-named module —
+# `conftest` is ambiguous once subdirectories carry their own); re-exported
+# here so fixture users keep one import point
+from tiny_grid import (TINY_CAMPAIGN_CONFIG, TINY_PATIENT,  # noqa: F401
+                       TINY_PLATFORM, tiny_campaign_scenarios)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,99 @@
+"""Property battery for shard-range partitioning.
+
+The coordinator's correctness rests on :func:`partition_ranges` being a
+deterministic, disjoint, covering tiling of the plan — and on a retried
+range re-deriving the same work from ``(start, stop)`` alone.  These are
+exactly the invariants :func:`ranges_defect` checks at merge time, so the
+two functions are also tested against each other.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import partition_ranges, ranges_defect, shard_indices
+
+sizes = st.integers(min_value=0, max_value=500)
+hosts = st.integers(min_value=1, max_value=64)
+
+
+class TestPartitionRanges:
+    @given(sizes, hosts)
+    @settings(max_examples=200, deadline=None)
+    def test_disjoint_and_covering(self, n, k):
+        assert ranges_defect(partition_ranges(n, k), n) is None
+
+    @given(sizes, hosts)
+    @settings(max_examples=200, deadline=None)
+    def test_deterministic(self, n, k):
+        assert partition_ranges(n, k) == partition_ranges(n, k)
+
+    @given(sizes, hosts)
+    @settings(max_examples=200, deadline=None)
+    def test_matches_shard_indices(self, n, k):
+        """Ranges are the executor's chunk boundaries — the distributed
+        partition IS the single-box partition."""
+        expected = [(r.start, r.stop) for r in shard_indices(n, k) if len(r)]
+        assert partition_ranges(n, k) == expected
+
+    @given(sizes, hosts)
+    @settings(max_examples=200, deadline=None)
+    def test_ordered_and_nonempty(self, n, k):
+        ranges = partition_ranges(n, k)
+        assert all(a < b for a, b in ranges)
+        assert ranges == sorted(ranges)
+        assert len(ranges) == min(n, k) if n else ranges == []
+
+    @given(sizes, hosts)
+    @settings(max_examples=200, deadline=None)
+    def test_balanced(self, n, k):
+        lengths = [b - a for a, b in partition_ranges(n, k)]
+        if lengths:
+            assert max(lengths) - min(lengths) <= 1
+
+    @given(sizes, hosts, hosts)
+    @settings(max_examples=200, deadline=None)
+    def test_stable_under_retry_host_count(self, n, k, k_retry):
+        """The retry path re-executes a recorded ``(start, stop)`` — the
+        work a range describes must not depend on how many hosts the
+        *rest* of the campaign is spread over.  Re-partitioning a range
+        for a different local worker count tiles exactly that range."""
+        for start, stop in partition_ranges(n, k):
+            sub = partition_ranges(stop - start, k_retry)
+            shifted = [(start + a, start + b) for a, b in sub]
+            cursor = start
+            for a, b in shifted:
+                assert a == cursor
+                cursor = b
+            assert cursor == stop
+
+
+class TestRangesDefect:
+    @given(sizes, hosts)
+    @settings(max_examples=100, deadline=None)
+    def test_missing_range_detected(self, n, k):
+        ranges = partition_ranges(n, k)
+        if len(ranges) < 2:
+            return
+        defect = ranges_defect(ranges[:-1], n)
+        assert defect is not None and "missing" in defect
+
+    @given(sizes, hosts)
+    @settings(max_examples=100, deadline=None)
+    def test_duplicated_range_detected(self, n, k):
+        ranges = partition_ranges(n, k)
+        if not ranges:
+            return
+        defect = ranges_defect(ranges + [ranges[0]], n)
+        assert defect is not None and "overlap" in defect
+
+    def test_ill_formed_slice(self):
+        assert "well-formed" in ranges_defect([(2, 1)], 5)
+        assert "well-formed" in ranges_defect([(-1, 3)], 5)
+        assert "well-formed" in ranges_defect([(0, 6)], 5)
+
+    def test_order_independent(self):
+        assert ranges_defect([(4, 7), (0, 4), (7, 10)], 10) is None
+
+    def test_trailing_gap(self):
+        assert "range [7, 10) is missing" == ranges_defect(
+            [(0, 4), (4, 7)], 10)

@@ -13,8 +13,8 @@ import os
 import numpy as np
 import pytest
 
-from conftest import (TINY_PATIENT, TINY_PLATFORM,
-                      tiny_campaign_scenarios)
+from tiny_grid import (TINY_PATIENT, TINY_PLATFORM,
+                       tiny_campaign_scenarios)
 from repro.core import cawot_monitor, learn_thresholds, mine_rule_samples
 from repro.ml import build_point_dataset, build_window_dataset
 from repro.simulation import (

@@ -1,0 +1,25 @@
+"""The shared tiny-campaign grid definition.
+
+Lives in its own uniquely-named module (not ``conftest``) so test files
+in any subdirectory can import it by name: with per-directory
+``conftest.py`` files and no ``__init__.py`` packages, the module name
+``conftest`` resolves to whichever test directory landed on ``sys.path``
+first — a race this module's name sidesteps.
+"""
+
+from repro.fi import CampaignConfig, generate_campaign
+
+#: the shared small campaign grid: 14 fault configs x 2 timings x 2 initial
+#: BGs = 56 scenarios against Glucosym patient B (hazardous and safe mix)
+TINY_CAMPAIGN_CONFIG = CampaignConfig(init_glucose_values=(120.0, 200.0),
+                                      timing_choices=((0, 24), (40, 30)))
+
+TINY_PLATFORM = "glucosym"
+TINY_PATIENT = "B"
+
+
+def tiny_campaign_scenarios():
+    """The scenario list behind the session ``tiny_campaign_traces``
+    fixture (plain helper so tests can rebuild the matching
+    CampaignPlan)."""
+    return generate_campaign(TINY_CAMPAIGN_CONFIG)
